@@ -1,0 +1,90 @@
+// Command experiments regenerates every figure and table of the paper's
+// evaluation section, printing each as text and writing a CSV per
+// experiment into the report directory (mirroring the artifact's
+// ./scripts/run_figure_*.sh + compile_report.py pipeline).
+//
+//	experiments                  # full scale (≈10–15 minutes)
+//	experiments -quick           # half scale (≈2 minutes)
+//	experiments -only fig9,tab3  # subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	trident "repro"
+)
+
+type experiment struct {
+	key  string
+	name string
+	run  func(trident.Settings) *trident.Table
+}
+
+var all = []experiment{
+	{"fig1", "figure1", trident.Figure1},
+	{"fig2", "figure2", trident.Figure2},
+	{"fig3", "figure3", trident.Figure3},
+	{"fig4", "figure4", trident.Figure4},
+	{"fig7", "figure7", trident.Figure7},
+	{"fig9", "figure9", trident.Figure9},
+	{"fig10", "figure10", trident.Figure10},
+	{"fig11", "figure11", trident.Figure11},
+	{"fig12", "figure12", trident.Figure12},
+	{"fig13", "figure13", trident.Figure13},
+	{"tab3", "table3", trident.Table3},
+	{"tab4", "table4", trident.Table4},
+	{"tab5", "table5", trident.Table5},
+	{"faultlat", "fault_latency", trident.FaultLatency},
+	{"pvlat", "pv_latency", trident.PvLatency},
+	{"directmap", "direct_map", trident.DirectMap},
+	{"tlbsweep", "tlb_sweep", trident.TLBSweep},
+}
+
+func main() {
+	var (
+		out   = flag.String("out", "report", "directory for CSV output")
+		quick = flag.Bool("quick", false, "half-scale run (faster)")
+		only  = flag.String("only", "", "comma-separated experiment keys (default: all); keys: fig1,fig2,fig3,fig4,fig7,fig9,fig10,fig11,fig12,fig13,tab3,tab4,tab5,faultlat,pvlat,directmap,tlbsweep")
+		seed  = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	settings := trident.FullScale()
+	if *quick {
+		settings = trident.QuickScale()
+	}
+	settings.Seed = *seed
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(k)] = true
+		}
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+
+	for _, e := range all {
+		if len(selected) > 0 && !selected[e.key] {
+			continue
+		}
+		start := time.Now()
+		table := e.run(settings)
+		elapsed := time.Since(start).Round(time.Millisecond)
+		fmt.Println(table)
+		path := filepath.Join(*out, e.name+".csv")
+		if err := os.WriteFile(path, []byte(table.CSV()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: writing %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("-> %s (%s)\n\n", path, elapsed)
+	}
+}

@@ -1,0 +1,154 @@
+// Command tridentsim runs one workload under one memory-management policy
+// and prints the measurements: page-size breakdown, translation statistics,
+// walk-cycle fraction, fault/promotion/compaction activity.
+//
+// Examples:
+//
+//	tridentsim -workload GUPS -policy trident
+//	tridentsim -workload Redis -policy thp -fragment
+//	tridentsim -workload SVM -policy trident -virt -pv -fragment
+//	tridentsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	trident "repro"
+	"repro/internal/units"
+)
+
+var policies = map[string]trident.Policy{
+	"4k":             trident.Policy4K,
+	"thp":            trident.PolicyTHP,
+	"hugetlbfs2m":    trident.PolicyHugetlbfs2M,
+	"hugetlbfs1g":    trident.PolicyHugetlbfs1G,
+	"hawkeye":        trident.PolicyHawkEye,
+	"trident":        trident.PolicyTrident,
+	"trident-1gonly": trident.PolicyTrident1GOnly,
+	"trident-nc":     trident.PolicyTridentNC,
+}
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "GUPS", "Table-2 workload name (see -list)")
+		policyName   = flag.String("policy", "trident", "policy: 4k|thp|hugetlbfs2m|hugetlbfs1g|hawkeye|trident|trident-1gonly|trident-nc")
+		fragmentFlag = flag.Bool("fragment", false, "pre-fragment physical memory (FMFI ≈ 0.95)")
+		virtFlag     = flag.Bool("virt", false, "run inside a VM (two-level translation)")
+		hostPolicy   = flag.String("hostpolicy", "", "hypervisor policy for -virt (default: same as -policy)")
+		pvFlag       = flag.Bool("pv", false, "enable Trident_pv copy-less promotion in the guest")
+		memGB        = flag.Uint64("mem", 32, "physical memory (GB)")
+		scale        = flag.Float64("scale", 1.0, "workload footprint scale factor")
+		accesses     = flag.Int("accesses", 2_000_000, "sampled references to measure")
+		seed         = flag.Uint64("seed", 1, "random seed")
+		budget       = flag.Float64("khugepaged-budget", 0, "cap daemon CPU at this vCPU fraction (0 = unlimited)")
+		list         = flag.Bool("list", false, "list workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-10s %8s %8s %8s %s\n", "name", "paperGB", "simGB", "threads", "1GB-sensitive")
+		for _, w := range trident.Workloads() {
+			fmt.Printf("%-10s %8.1f %8.1f %8d %v\n", w.Name,
+				float64(w.PaperFootprint)/float64(units.GiB),
+				float64(w.Footprint)/float64(units.GiB),
+				w.Threads, w.Sensitive1G)
+		}
+		return
+	}
+
+	w, ok := trident.WorkloadByName(*workloadName)
+	if !ok {
+		fatalf("unknown workload %q (use -list)", *workloadName)
+	}
+	policy, ok := policies[strings.ToLower(*policyName)]
+	if !ok {
+		fatalf("unknown policy %q", *policyName)
+	}
+	cfg := trident.Config{
+		Workload: w,
+		Policy:   policy,
+		MemGB:    *memGB,
+		Scale:    *scale,
+		Accesses: *accesses,
+		Seed:     *seed,
+		Fragment: *fragmentFlag,
+	}
+	if *virtFlag {
+		cfg.Virtualized = true
+		cfg.HostPolicy = policy
+		if *hostPolicy != "" {
+			hp, ok := policies[strings.ToLower(*hostPolicy)]
+			if !ok {
+				fatalf("unknown host policy %q", *hostPolicy)
+			}
+			cfg.HostPolicy = hp
+		}
+		cfg.Pv = *pvFlag
+		cfg.KhugepagedBudgetFrac = *budget
+	} else if *pvFlag {
+		fatalf("-pv requires -virt")
+	}
+
+	res, err := trident.Run(cfg)
+	if err != nil {
+		fatalf("run failed: %v", err)
+	}
+	printResult(res)
+}
+
+func printResult(r *trident.Result) {
+	fmt.Printf("workload: %s   config: %s\n\n", r.Workload, r.Policy)
+	fmt.Printf("mapped memory (after faults → after daemons):\n")
+	for _, s := range []units.PageSize{units.Size1G, units.Size2M, units.Size4K} {
+		fmt.Printf("  %-4v %10s → %-10s\n", s,
+			units.HumanBytes(r.MappedAfterFaults[s]), units.HumanBytes(r.MappedFinal[s]))
+	}
+	fmt.Printf("\ntranslation (sampled %d references):\n", r.Trans.Accesses)
+	fmt.Printf("  L2-TLB hits: %d   page walks: %d   walk memory accesses: %d\n",
+		r.Trans.L2Hits, r.Trans.Walks, r.Trans.WalkMemAccesses)
+	fmt.Printf("  walk-cycle fraction: %.4f   cycles/access: %.2f   daemon overhead: %.2f%%\n",
+		r.Perf.WalkCycleFraction, r.Perf.CyclesPerAccess, 100*r.DaemonOverhead)
+	fmt.Printf("\nfault handler: 4K=%d 2M=%d 1G=%d   1G attempts/failures: %d/%d\n",
+		r.Fault.Faults[units.Size4K], r.Fault.Faults[units.Size2M], r.Fault.Faults[units.Size1G],
+		r.Fault.Attempts1G, r.Fault.Failed1G)
+	if r.Promote != nil {
+		fmt.Printf("promotion: 2M=%d 1G=%d   1G attempts/failures: %d/%d   copied: %s   bloat: %s\n",
+			r.Promote.Promoted[units.Size2M], r.Promote.Promoted[units.Size1G],
+			r.Promote.Attempts1G, r.Promote.Failed1G,
+			units.HumanBytes(r.Promote.BytesCopied), units.HumanBytes(r.BloatBytes))
+	}
+	if r.HawkEye != nil {
+		fmt.Printf("hawkeye: promoted 2M=%d sampled spans=%d demotions=%d bloat recovered: %s\n",
+			r.HawkEye.Promoted2M, r.HawkEye.SpansSampled, r.HawkEye.Demotions,
+			units.HumanBytes(r.HawkEye.BloatRecovered))
+	}
+	if r.SmartCompact != nil {
+		fmt.Printf("smart compaction: attempts=%d successes=%d copied=%s wasted=%s\n",
+			r.SmartCompact.Attempts, r.SmartCompact.Successes,
+			units.HumanBytes(r.SmartCompact.BytesCopied), units.HumanBytes(r.SmartCompact.BytesWasted))
+	}
+	if r.NormalCompact != nil && r.NormalCompact.Attempts > 0 {
+		fmt.Printf("normal compaction: attempts=%d successes=%d copied=%s wasted=%s\n",
+			r.NormalCompact.Attempts, r.NormalCompact.Successes,
+			units.HumanBytes(r.NormalCompact.BytesCopied), units.HumanBytes(r.NormalCompact.BytesWasted))
+	}
+	if r.VirtStats != nil {
+		fmt.Printf("hypervisor: hypercalls=%d exchanged=%d host demotions=%d failures=%d\n",
+			r.VirtStats.Hypercalls, r.VirtStats.PagesExchanged,
+			r.VirtStats.HostDemotions, r.VirtStats.ExchangeFailures)
+	}
+	if r.TailP99Ns > 0 {
+		fmt.Printf("p99 request latency: %.2f ms\n", r.TailP99Ns/1e6)
+	}
+	fmt.Printf("\nlayout: heap=%s fringe(2M-only)=%s mappable 1G=%s 2M=%s FMFI(2M)=%.3f\n",
+		units.HumanBytes(r.HeapBytes), units.HumanBytes(r.FringeBytes),
+		units.HumanBytes(r.Mappable1G), units.HumanBytes(r.Mappable2M), r.FMFI2M)
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "tridentsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+// Virtualized demonstrates Trident_pv (§6): a guest OS promotes 512×2MB
+// pages to a 1GB page three ways — copy-based, copy-less with one hypercall
+// per page, and copy-less with batched hypercalls — and shows both the
+// latency collapse (≈600 ms → ≈500 µs) and the actual gPA→hPA mapping
+// exchanges happening in the host's page table.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	trident "repro"
+)
+
+func main() {
+	for _, mode := range []string{"copy", "pv-unbatched", "pv-batched"} {
+		// Host with Trident backing (guest memory lands on host 1GB pages).
+		host := trident.NewKernel(8*trident.GiB, trident.TridentMaxOrder)
+		hostZero := trident.NewZeroFillDaemon(host)
+		hostZero.Refill(1 << 20)
+		hostPolicy := trident.NewTridentPolicy(host, hostZero)
+
+		vm, err := trident.NewVM(host, hostPolicy, 4*trident.GiB, trident.TridentMaxOrder)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// A guest application faults 512 × 2MB pages over a 1GB-mappable
+		// range (guest THP serves the faults with 2MB pages; the guest
+		// physical memory backing them is scattered).
+		app := vm.Guest.NewTask("app")
+		gva, err := app.AS.MMapAligned(trident.Page1G, trident.Page1G, trident.VMAAnon)
+		if err != nil {
+			log.Fatal(err)
+		}
+		guestTHP := trident.NewTHPPolicy(vm.Guest)
+		for off := uint64(0); off < trident.Page1G; off += trident.Page2M {
+			if _, err := guestTHP.Handle(app, gva+off); err != nil {
+				log.Fatal(err)
+			}
+		}
+
+		// The guest's khugepaged promotes the range to one 1GB page.
+		guestZero := trident.NewZeroFillDaemon(vm.Guest)
+		khugepaged := trident.NewTridentPromoteDaemon(vm.Guest, guestZero)
+		var bridge *trident.PvBridge
+		switch mode {
+		case "pv-unbatched":
+			bridge = vm.AttachPvExchange(khugepaged, false)
+		case "pv-batched":
+			bridge = vm.AttachPvExchange(khugepaged, true)
+		}
+		khugepaged.ScanTask(app, 0)
+		if bridge != nil {
+			// Ship the buffered exchange requests to the hypervisor.
+			bridge.Flush()
+		}
+
+		m, ok := app.AS.PT.Lookup(gva)
+		if !ok || m.Size != trident.Size1G {
+			log.Fatalf("%s: promotion failed", mode)
+		}
+		fmt.Printf("%-13s promoted 1GB in %9.3f ms   copied=%-7s hypercalls=%-3d pages exchanged=%d\n",
+			mode, khugepaged.S.MoveNanoseconds/1e6,
+			trident.HumanBytes(khugepaged.S.BytesCopied),
+			vm.S.Hypercalls, vm.S.PagesExchanged)
+	}
+	fmt.Println("\npaper §6: copy ≈600 ms, unbatched <30 ms, batched ≈500 µs")
+}

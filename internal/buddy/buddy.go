@@ -1,0 +1,310 @@
+// Package buddy implements the binary buddy allocator that manages physical
+// frames, in two flavours:
+//
+//   - stock Linux: free lists track chunks up to order 10 (4MB), the limit the
+//     paper calls out in §5 ("Linux tracks only up to 4MB free physical memory
+//     chunks");
+//   - Trident: free lists extended to order 18 (1GB) so that 1GB pages can be
+//     allocated directly from the fast path (§5.1.1).
+//
+// Allocation always returns the lowest-addressed suitable chunk, which makes
+// every simulation run deterministic. Frees coalesce with buddies exactly as
+// in Linux. The allocator is the single authority over frame state and keeps
+// phys.Memory's bitmaps and per-region counters in sync on every operation.
+package buddy
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"repro/internal/phys"
+	"repro/internal/units"
+)
+
+// ErrNoMemory is returned when no free chunk of the requested order exists
+// (the equivalent of Linux's allocation failure that triggers compaction).
+var ErrNoMemory = errors.New("buddy: no contiguous chunk of requested order")
+
+// Allocator is a binary buddy allocator over a phys.Memory.
+type Allocator struct {
+	mem      *phys.Memory
+	maxOrder int
+
+	// freeOrder[pfn] is the order of the free chunk headed at pfn, or -1 if
+	// pfn is not the head of a free chunk.
+	freeOrder []int8
+
+	// heaps hold candidate free-chunk heads per order, min-pfn first, with
+	// lazy deletion (entries are validated against freeOrder when popped).
+	heaps []pfnHeap
+
+	// counts are the live free-chunk counts per order.
+	counts []uint64
+}
+
+// New creates an allocator over mem with free lists up to maxOrder
+// (units.StockMaxOrder for stock Linux, units.TridentMaxOrder for Trident).
+// All memory starts free, tiled with maxOrder chunks.
+func New(mem *phys.Memory, maxOrder int) *Allocator {
+	if maxOrder < units.Order2M || maxOrder > units.TridentMaxOrder {
+		panic(fmt.Sprintf("buddy: unsupported max order %d", maxOrder))
+	}
+	a := &Allocator{
+		mem:       mem,
+		maxOrder:  maxOrder,
+		freeOrder: make([]int8, mem.Frames()),
+		heaps:     make([]pfnHeap, maxOrder+1),
+		counts:    make([]uint64, maxOrder+1),
+	}
+	for i := range a.freeOrder {
+		a.freeOrder[i] = -1
+	}
+	chunk := uint64(1) << uint(maxOrder)
+	for pfn := uint64(0); pfn < mem.Frames(); pfn += chunk {
+		a.insertFree(pfn, maxOrder)
+	}
+	return a
+}
+
+// MaxOrder returns the largest order the free lists track.
+func (a *Allocator) MaxOrder() int { return a.maxOrder }
+
+// Memory returns the underlying physical memory bookkeeping.
+func (a *Allocator) Memory() *phys.Memory { return a.mem }
+
+// FreeChunks returns the number of free chunks of exactly the given order.
+func (a *Allocator) FreeChunks(order int) uint64 { return a.counts[order] }
+
+// FreeFrames returns the total number of free frames.
+func (a *Allocator) FreeFrames() uint64 { return a.mem.FreeFrames() }
+
+// Alloc allocates a 2^order-frame chunk and returns its head PFN.
+// unmovable marks the chunk as holding unmovable (kernel) data, which feeds
+// Trident's per-region unmovable counters.
+func (a *Allocator) Alloc(order int, unmovable bool) (uint64, error) {
+	if order < 0 || order > a.maxOrder {
+		return 0, fmt.Errorf("buddy: invalid order %d", order)
+	}
+	from := -1
+	for o := order; o <= a.maxOrder; o++ {
+		if a.counts[o] > 0 {
+			from = o
+			break
+		}
+	}
+	if from == -1 {
+		return 0, ErrNoMemory
+	}
+	pfn := a.popFree(from)
+	// Split down, returning the upper halves to the free lists.
+	for o := from; o > order; o-- {
+		half := uint64(1) << uint(o-1)
+		a.insertFree(pfn+half, o-1)
+	}
+	a.mem.MarkAllocated(pfn, uint64(1)<<uint(order), unmovable)
+	return pfn, nil
+}
+
+// AllocSpecific allocates the exact chunk [pfn, pfn+2^order), which must lie
+// entirely inside a free chunk. It is used by compaction to claim target
+// frames inside a chosen region. Returns ErrNoMemory if the range is not
+// entirely free.
+func (a *Allocator) AllocSpecific(pfn uint64, order int, unmovable bool) error {
+	if order < 0 || order > a.maxOrder {
+		return fmt.Errorf("buddy: invalid order %d", order)
+	}
+	if !units.IsAligned(pfn, uint64(1)<<uint(order)) {
+		return fmt.Errorf("buddy: pfn %d not aligned to order %d", pfn, order)
+	}
+	// Find the free chunk covering pfn.
+	cover := -1
+	var head uint64
+	for o := order; o <= a.maxOrder; o++ {
+		h := pfn &^ ((uint64(1) << uint(o)) - 1)
+		if int(a.freeOrder[h]) == o {
+			cover = o
+			head = h
+			break
+		}
+	}
+	if cover == -1 {
+		return ErrNoMemory
+	}
+	a.removeFree(head, cover)
+	// Split repeatedly, freeing the half that does not contain the target.
+	for o := cover; o > order; o-- {
+		half := uint64(1) << uint(o-1)
+		if pfn < head+half {
+			a.insertFree(head+half, o-1)
+		} else {
+			a.insertFree(head, o-1)
+			head += half
+		}
+	}
+	a.mem.MarkAllocated(pfn, uint64(1)<<uint(order), unmovable)
+	return nil
+}
+
+// Free releases the chunk [pfn, pfn+2^order), coalescing with free buddies.
+func (a *Allocator) Free(pfn uint64, order int) {
+	if order < 0 || order > a.maxOrder {
+		panic(fmt.Sprintf("buddy: invalid order %d", order))
+	}
+	if !units.IsAligned(pfn, uint64(1)<<uint(order)) {
+		panic(fmt.Sprintf("buddy: free of misaligned pfn %d order %d", pfn, order))
+	}
+	a.mem.MarkFree(pfn, uint64(1)<<uint(order)) // panics on double free
+	for order < a.maxOrder {
+		buddyPfn := pfn ^ (uint64(1) << uint(order))
+		if buddyPfn >= a.mem.Frames() || int(a.freeOrder[buddyPfn]) != order {
+			break
+		}
+		a.removeFree(buddyPfn, order)
+		if buddyPfn < pfn {
+			pfn = buddyPfn
+		}
+		order++
+	}
+	a.insertFree(pfn, order)
+}
+
+// FMFI returns the Free Memory Fragmentation Index for the given order: the
+// fraction of free memory that is unusable for an allocation of that order
+// (Gorman's unusable-free-space index, the metric the paper adopts from
+// Ingens [36]; 0 = no fragmentation, 1 = fully fragmented).
+func (a *Allocator) FMFI(order int) float64 {
+	totalFree := a.mem.FreeFrames()
+	if totalFree == 0 {
+		return 1
+	}
+	var usable uint64
+	for o := order; o <= a.maxOrder; o++ {
+		usable += a.counts[o] << uint(o)
+	}
+	return float64(totalFree-usable) / float64(totalFree)
+}
+
+// FreeBytesAtOrder returns the bytes of free memory held in chunks of at
+// least the given order.
+func (a *Allocator) FreeBytesAtOrder(order int) uint64 {
+	var frames uint64
+	for o := order; o <= a.maxOrder; o++ {
+		frames += a.counts[o] << uint(o)
+	}
+	return frames * units.Page4K
+}
+
+// FreeChunkHeads returns the head PFNs of all live free chunks of exactly
+// the given order, in ascending address order. Intended for tests and
+// diagnostics; O(heap size).
+func (a *Allocator) FreeChunkHeads(order int) []uint64 {
+	var heads []uint64
+	for _, pfn := range a.heaps[order] {
+		if int(a.freeOrder[pfn]) == order {
+			heads = append(heads, pfn)
+		}
+	}
+	// The heap may contain duplicates of stale entries for a pfn that was
+	// re-freed at the same order; deduplicate while sorting.
+	return dedupSorted(heads)
+}
+
+func (a *Allocator) insertFree(pfn uint64, order int) {
+	a.freeOrder[pfn] = int8(order)
+	heap.Push(&a.heaps[order], pfn)
+	a.counts[order]++
+}
+
+// popFree removes and returns the lowest-addressed free chunk of the order.
+func (a *Allocator) popFree(order int) uint64 {
+	h := &a.heaps[order]
+	for h.Len() > 0 {
+		pfn := heap.Pop(h).(uint64)
+		if int(a.freeOrder[pfn]) == order {
+			a.freeOrder[pfn] = -1
+			a.counts[order]--
+			return pfn
+		}
+		// Stale entry from lazy deletion; skip.
+	}
+	panic(fmt.Sprintf("buddy: count says order %d has free chunks but heap is empty", order))
+}
+
+// removeFree removes a specific chunk from its free list (lazy deletion).
+func (a *Allocator) removeFree(pfn uint64, order int) {
+	if int(a.freeOrder[pfn]) != order {
+		panic(fmt.Sprintf("buddy: removeFree(%d, %d) but freeOrder is %d",
+			pfn, order, a.freeOrder[pfn]))
+	}
+	a.freeOrder[pfn] = -1
+	a.counts[order]--
+}
+
+// CheckInvariants verifies internal consistency (used by tests): every free
+// chunk head is aligned, chunks do not overlap, and the free-frame total
+// matches phys.Memory. It returns an error describing the first violation.
+func (a *Allocator) CheckInvariants() error {
+	var freeFrames uint64
+	covered := make(map[uint64]bool)
+	for order := 0; order <= a.maxOrder; order++ {
+		heads := a.FreeChunkHeads(order)
+		if uint64(len(heads)) != a.counts[order] {
+			return fmt.Errorf("order %d: %d heads vs count %d", order, len(heads), a.counts[order])
+		}
+		for _, pfn := range heads {
+			size := uint64(1) << uint(order)
+			if !units.IsAligned(pfn, size) {
+				return fmt.Errorf("order %d chunk at %d misaligned", order, pfn)
+			}
+			for f := pfn; f < pfn+size; f++ {
+				if covered[f] {
+					return fmt.Errorf("frame %d covered by two free chunks", f)
+				}
+				covered[f] = true
+				if a.mem.IsAllocated(f) {
+					return fmt.Errorf("frame %d free in buddy but allocated in phys", f)
+				}
+			}
+			freeFrames += size
+		}
+	}
+	if freeFrames != a.mem.FreeFrames() {
+		return fmt.Errorf("buddy free %d != phys free %d", freeFrames, a.mem.FreeFrames())
+	}
+	return nil
+}
+
+func dedupSorted(s []uint64) []uint64 {
+	if len(s) == 0 {
+		return s
+	}
+	// Insertion-friendly small sort: heaps are near-sorted already.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// pfnHeap is a min-heap of PFNs implementing container/heap.
+type pfnHeap []uint64
+
+func (h pfnHeap) Len() int            { return len(h) }
+func (h pfnHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h pfnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pfnHeap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
+func (h *pfnHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}

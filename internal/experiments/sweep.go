@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tlb"
+	"repro/internal/workload"
+)
+
+// TLBSweep is an extension experiment motivated by the paper's conclusion
+// ("motivates micro-architects to continue enhancing hardware support for
+// all large page sizes") and its intro observation that 1GB TLB capacity
+// keeps growing: Sandy Bridge had 4 L1 entries, Cascade Lake 4+16, Ice Lake
+// up to 1024 L2 entries per core.
+//
+// It runs Trident on the 1GB-sensitive workloads while sweeping the
+// 1GB-dedicated L2 TLB capacity, reporting performance normalized to the
+// paper's Skylake configuration (16 entries). The shape shows where extra
+// 1GB entries stop paying: once the hot set's 1GB pages fit, more entries
+// buy nothing — exactly the utilization question the paper says architects
+// cannot answer without OS enablement.
+func TLBSweep(s Settings) *stats.Table {
+	s = s.fill()
+	t := stats.NewTable("Extension: 1GB L2 TLB capacity sweep (Trident)",
+		"workload", "l2_1g_entries", "walk_frac", "perf_norm_vs_16")
+	capacities := []struct {
+		entries int
+		geom    tlb.Geometry
+	}{
+		{4, tlb.Geometry{Sets: 1, Ways: 4}},
+		{16, tlb.Geometry{Sets: 4, Ways: 4}}, // Cascade Lake / the paper's Skylake
+		{64, tlb.Geometry{Sets: 16, Ways: 4}},
+		{1024, tlb.Geometry{Sets: 128, Ways: 8}}, // Ice Lake-class
+	}
+	for _, w := range workload.Sensitive() {
+		base := make(map[int]*sim.Result)
+		for _, c := range capacities {
+			cfg := s.config(w, sim.PolicyTrident)
+			tcfg := tlb.Skylake()
+			if s.TLB != nil {
+				tcfg = *s.TLB
+			}
+			tcfg.L2Huge = c.geom
+			cfg.TLB = &tcfg
+			res := mustRun(cfg)
+			base[c.entries] = res
+		}
+		ref := base[16]
+		for _, c := range capacities {
+			res := base[c.entries]
+			t.AddRow(w.Name, c.entries,
+				res.Perf.WalkCycleFraction,
+				ratio(ref.Perf.CyclesPerAccess, res.Perf.CyclesPerAccess))
+		}
+	}
+	return t
+}

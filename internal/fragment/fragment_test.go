@@ -1,0 +1,141 @@
+package fragment
+
+import (
+	"testing"
+
+	"repro/internal/compact"
+	"repro/internal/kernel"
+	"repro/internal/units"
+)
+
+func TestApplyReachesHighFMFI(t *testing.T) {
+	k := kernel.New(4*units.Page1G, units.TridentMaxOrder)
+	f, err := Apply(k, Config{
+		Seed:           1,
+		UnmovableBytes: 64 * units.MiB,
+		FreeBytes:      units.Page1G,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's methodology reaches FMFI ≈ 0.95; scattered 4KB holes give
+	// essentially full fragmentation at 2MB granularity.
+	if fm := k.Buddy.FMFI(units.Order2M); fm < 0.9 {
+		t.Errorf("FMFI(2MB) = %v, want >= 0.9", fm)
+	}
+	if fm := k.Buddy.FMFI(units.Order1G); fm != 1 {
+		t.Errorf("FMFI(1GB) = %v, want 1", fm)
+	}
+	// Requested free memory is available (as 4KB pages).
+	if free := k.Mem.FreeFrames() * units.Page4K; free < units.Page1G {
+		t.Errorf("free = %d, want >= 1GB", free)
+	}
+	// No free 1GB chunk survives.
+	if k.Buddy.FreeChunks(units.Order1G) != 0 {
+		t.Error("a free 1GB chunk survived fragmentation")
+	}
+	if f.HeldBytes() == 0 {
+		t.Error("page cache empty")
+	}
+}
+
+func TestUnmovableClustering(t *testing.T) {
+	k := kernel.New(4*units.Page1G, units.TridentMaxOrder)
+	if _, err := Apply(k, Config{
+		Seed:           2,
+		UnmovableBytes: 128 * units.MiB,
+		FreeBytes:      512 * units.MiB,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// 128MB at ~50% max density fits in the first region; later regions
+	// must be unmovable-free so smart compaction has sources.
+	withUnmovable := 0
+	for r := uint64(0); r < k.Mem.NumRegions(); r++ {
+		if k.Mem.Region(r).Unmovable > 0 {
+			withUnmovable++
+		}
+	}
+	if withUnmovable == 0 {
+		t.Fatal("no unmovable pages placed")
+	}
+	if withUnmovable > 2 {
+		t.Errorf("unmovable spread across %d regions, want clustered", withUnmovable)
+	}
+	if got := k.Mem.UnmovableFrames() * units.Page4K; got != 128*units.MiB {
+		t.Errorf("unmovable bytes = %d", got)
+	}
+}
+
+func TestReclaimRandomScatters(t *testing.T) {
+	k := kernel.New(2*units.Page1G, units.TridentMaxOrder)
+	f, err := Apply(k, Config{Seed: 3, FreeBytes: 64 * units.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := k.Mem.FreeFrames()
+	got := f.ReclaimRandom(32 * units.MiB)
+	if got != 32*units.MiB {
+		t.Errorf("reclaimed %d", got)
+	}
+	if k.Mem.FreeFrames()-before != 32*units.MiB/units.Page4K {
+		t.Error("free frames mismatch")
+	}
+	// Still fragmented: the new free memory is scattered too.
+	if fm := k.Buddy.FMFI(units.Order2M); fm < 0.9 {
+		t.Errorf("FMFI after reclaim = %v", fm)
+	}
+}
+
+func TestReclaimExhaustsCache(t *testing.T) {
+	k := kernel.New(units.Page1G, units.TridentMaxOrder)
+	f, err := Apply(k, Config{Seed: 4, FreeBytes: 16 * units.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := f.ReclaimRandom(2 * units.Page1G) // more than exists
+	if got == 0 {
+		t.Error("reclaim-all freed nothing")
+	}
+	// Reclaim never drains a region below its scattered floor, so no free
+	// 1GB chunk can appear.
+	if f.HeldBytes() > uint64(minResidentPages)*units.Page4K*k.Mem.NumRegions() {
+		t.Errorf("reclaim-all left %d bytes held", f.HeldBytes())
+	}
+	if k.Buddy.FreeChunks(units.Order1G) != 0 {
+		t.Error("reclaim-all produced a free 1GB chunk")
+	}
+}
+
+func TestApplyFailsWhenUnmovableTooLarge(t *testing.T) {
+	k := kernel.New(units.Page1G, units.TridentMaxOrder)
+	// More unmovable than the 50%-density budget allows.
+	if _, err := Apply(k, Config{Seed: 5, UnmovableBytes: 900 * units.MiB, FreeBytes: 0}); err == nil {
+		t.Error("expected placement failure")
+	}
+}
+
+// End-to-end: a fragmented machine defeats direct 1GB allocation but smart
+// compaction recovers chunks from the movable page cache — the Table 3
+// "Fragmented / Smart compaction" story.
+func TestSmartCompactionRecoversFromFragmentation(t *testing.T) {
+	k := kernel.New(4*units.Page1G, units.TridentMaxOrder)
+	_, err := Apply(k, Config{
+		Seed:           6,
+		UnmovableBytes: 32 * units.MiB,
+		FreeBytes:      2 * units.Page1G,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Buddy.Alloc(units.Order1G, false); err == nil {
+		t.Fatal("1GB allocation succeeded on fragmented memory")
+	}
+	c := compact.NewSmart(k)
+	if !c.Compact() {
+		t.Fatal("smart compaction failed")
+	}
+	if _, err := k.Buddy.Alloc(units.Order1G, false); err != nil {
+		t.Error("no 1GB chunk after smart compaction")
+	}
+}

@@ -1,0 +1,204 @@
+package hawkeye
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/kernel"
+	"repro/internal/units"
+	"repro/internal/vmm"
+)
+
+func setup(t *testing.T, gb uint64) (*kernel.Kernel, *kernel.Task) {
+	t.Helper()
+	k := kernel.New(gb*units.Page1G, units.TridentMaxOrder)
+	return k, k.NewTask("p")
+}
+
+// populate faults n 4KB pages starting at va and touches them (setting
+// access bits) if touch is true.
+func populate(t *testing.T, k *kernel.Kernel, task *kernel.Task, va uint64, n int, touch bool) {
+	t.Helper()
+	p := fault.NewBase4K(k)
+	for i := 0; i < n; i++ {
+		addr := va + uint64(i)*units.Page4K
+		if _, err := p.Handle(task, addr); err != nil {
+			t.Fatal(err)
+		}
+		if touch {
+			task.AS.PT.Translate(addr, false)
+		}
+	}
+}
+
+func TestSampleOrdersByCoverage(t *testing.T) {
+	k, task := setup(t, 2)
+	va, _ := task.AS.MMapAligned(3*units.Page2M, units.Page2M, vmm.KindAnon)
+	populate(t, k, task, va, 512, false)               // span 0: populated, cold
+	populate(t, k, task, va+units.Page2M, 512, true)   // span 1: hot (512 accessed)
+	populate(t, k, task, va+2*units.Page2M, 100, true) // span 2: warm (100 accessed)
+	d := New(k)
+	cands := d.Sample(task)
+	if len(cands) != 2 {
+		t.Fatalf("candidates = %d, want 2 (cold span excluded)", len(cands))
+	}
+	if cands[0].va != va+units.Page2M || cands[1].va != va+2*units.Page2M {
+		t.Errorf("order = %#x, %#x", cands[0].va, cands[1].va)
+	}
+	if cands[0].coverage != 1.0 {
+		t.Errorf("hot coverage = %v", cands[0].coverage)
+	}
+	// Access bits were cleared: re-sampling finds nothing.
+	if again := d.Sample(task); len(again) != 0 {
+		t.Errorf("second sample found %d candidates", len(again))
+	}
+}
+
+func TestScanPromotesHotSpansOnly(t *testing.T) {
+	k, task := setup(t, 2)
+	va, _ := task.AS.MMapAligned(2*units.Page2M, units.Page2M, vmm.KindAnon)
+	populate(t, k, task, va, 512, true)               // hot
+	populate(t, k, task, va+units.Page2M, 512, false) // cold
+	d := New(k)
+	d.ScanTask(task, 0)
+	if d.S.Promoted2M != 1 {
+		t.Fatalf("promoted = %d, want 1", d.S.Promoted2M)
+	}
+	m, ok := task.AS.PT.Lookup(va)
+	if !ok || m.Size != units.Size2M {
+		t.Error("hot span not promoted")
+	}
+	if m, _ := task.AS.PT.Lookup(va + units.Page2M); m.Size == units.Size2M {
+		t.Error("cold span promoted")
+	}
+}
+
+func TestScanSkipsAlreadyHugeSpans(t *testing.T) {
+	k, task := setup(t, 2)
+	va, _ := task.AS.MMapAligned(units.Page2M, units.Page2M, vmm.KindAnon)
+	thp := fault.NewTHP(k)
+	if _, err := thp.Handle(task, va); err != nil {
+		t.Fatal(err)
+	}
+	task.AS.PT.Translate(va, false)
+	d := New(k)
+	d.ScanTask(task, 0)
+	if d.S.Attempts2M != 0 {
+		t.Error("attempted to promote an already-2MB span")
+	}
+}
+
+func TestBloatTrackingAndRecovery(t *testing.T) {
+	k, task := setup(t, 2)
+	va, _ := task.AS.MMapAligned(units.Page2M, units.Page2M, vmm.KindAnon)
+	populate(t, k, task, va, 10, true) // 10 of 512 pages → heavy bloat
+	d := New(k)
+	d.ScanTask(task, 0)
+	if d.S.Promoted2M != 1 {
+		t.Fatalf("promotion failed")
+	}
+	if d.S.BloatBytes != units.Page2M-10*units.Page4K {
+		t.Errorf("bloat = %d", d.S.BloatBytes)
+	}
+	framesBefore := k.Mem.AllocatedFrames()
+	recovered := d.RecoverBloat(1)
+	if recovered != units.Page2M-10*units.Page4K {
+		t.Errorf("recovered = %d", recovered)
+	}
+	if d.S.Demotions != 1 {
+		t.Errorf("demotions = %d", d.S.Demotions)
+	}
+	framesAfter := k.Mem.AllocatedFrames()
+	if framesBefore-framesAfter != 502 {
+		t.Errorf("frames freed = %d, want 502", framesBefore-framesAfter)
+	}
+	// The populated head sub-pages remain mapped.
+	if _, ok := task.AS.PT.Lookup(va); !ok {
+		t.Error("populated sub-pages lost")
+	}
+	if _, ok := task.AS.PT.Lookup(va + 100*units.Page4K); ok {
+		t.Error("bloat sub-page still mapped")
+	}
+}
+
+func TestRecoverBloatNoCandidates(t *testing.T) {
+	k, _ := setup(t, 1)
+	d := New(k)
+	if got := d.RecoverBloat(units.Page2M); got != 0 {
+		t.Errorf("recovered %d from nothing", got)
+	}
+}
+
+func TestRecoverBloatSkipsChangedMappings(t *testing.T) {
+	k, task := setup(t, 2)
+	va, _ := task.AS.MMapAligned(units.Page2M, units.Page2M, vmm.KindAnon)
+	populate(t, k, task, va, 5, true)
+	d := New(k)
+	d.ScanTask(task, 0)
+	// The huge page goes away before recovery runs.
+	if err := k.UnmapFree(task, va, units.Size2M); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.RecoverBloat(units.Page2M); got != 0 {
+		t.Errorf("recovered %d from a vanished mapping", got)
+	}
+}
+
+func TestTrackPromotionFromExternalEngine(t *testing.T) {
+	k, task := setup(t, 3)
+	va, _ := task.AS.MMapAligned(units.Page1G, units.Page1G, vmm.KindAnon)
+	// Manually install a 1GB page with little population, as Trident's
+	// khugepaged would after a sparse collapse.
+	pfn, err := k.Buddy.Alloc(units.Order1G, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.MapSpecific(task, va, pfn, units.Size1G); err != nil {
+		t.Fatal(err)
+	}
+	d := New(k)
+	d.TrackPromotion(task, va, units.Size1G, 3*units.Page2M)
+	recovered := d.RecoverBloat(1)
+	want := uint64(units.Page1G - 3*units.Page2M)
+	if recovered != want {
+		t.Errorf("recovered = %d, want %d", recovered, want)
+	}
+	// 1GB page demoted to 2MB pieces; populated head retained.
+	m, ok := task.AS.PT.Lookup(va)
+	if !ok || m.Size != units.Size2M {
+		t.Errorf("head mapping after recovery = %+v", m)
+	}
+}
+
+func TestRecoverBloatStopsAtTarget(t *testing.T) {
+	k, task := setup(t, 2)
+	va, _ := task.AS.MMapAligned(4*units.Page2M, units.Page2M, vmm.KindAnon)
+	for i := uint64(0); i < 4; i++ {
+		populate(t, k, task, va+i*units.Page2M, 8, true)
+	}
+	d := New(k)
+	d.ScanTask(task, 0)
+	if d.S.Promoted2M != 4 {
+		t.Fatalf("promoted = %d", d.S.Promoted2M)
+	}
+	// Ask for just over one page's recoverable bloat: two demotions at most.
+	one := uint64(units.Page2M - 8*units.Page4K)
+	d.RecoverBloat(one + 1)
+	if d.S.Demotions > 2 {
+		t.Errorf("demotions = %d, recovery did not stop at target", d.S.Demotions)
+	}
+}
+
+func TestKbinmanagerCostsAccrue(t *testing.T) {
+	k, task := setup(t, 2)
+	va, _ := task.AS.MMapAligned(8*units.Page2M, units.Page2M, vmm.KindAnon)
+	populate(t, k, task, va, 512*8, true)
+	d := New(k)
+	ns := d.ScanTask(task, 0)
+	if ns <= 0 || d.S.Nanoseconds <= 0 {
+		t.Error("daemon time not accounted")
+	}
+	if d.S.SpansSampled == 0 {
+		t.Error("no sampling recorded")
+	}
+}

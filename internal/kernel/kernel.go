@@ -1,0 +1,308 @@
+// Package kernel is the simulator's operating-system layer: it owns the
+// physical memory bookkeeping and buddy allocator, creates tasks (address
+// spaces), and provides the primitive operations every memory-management
+// policy is built from — allocate-and-map, unmap-and-free, move (for
+// compaction) and remap (for promotion and for Trident_pv's copy-less
+// exchange).
+//
+// Policies themselves (THP, HawkEye, Trident's fault path, khugepaged,
+// compaction, zero-fill) live in their own packages and drive the kernel
+// through this API, mirroring how the paper's changes are patches over core
+// Linux mm code.
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/buddy"
+	"repro/internal/pagetable"
+	"repro/internal/phys"
+	"repro/internal/units"
+	"repro/internal/vmm"
+)
+
+// Task is a process: an address space plus accounting.
+type Task struct {
+	Name string
+	AS   *vmm.AddressSpace
+
+	// Faults counts minor page faults served, by page size actually mapped.
+	Faults [units.NumPageSizes]uint64
+}
+
+// MappedBytes returns the bytes this task has mapped at the given size.
+func (t *Task) MappedBytes(size units.PageSize) uint64 { return t.AS.PT.MappedBytes(size) }
+
+// Kernel is the machine-wide OS state.
+type Kernel struct {
+	Mem   *phys.Memory
+	Buddy *buddy.Allocator
+
+	tasks  map[uint32]*Task
+	nextID uint32
+
+	// Shootdown, if set, is invoked whenever a mapping is removed or
+	// repointed so the simulation's TLBs can be invalidated. va/size are the
+	// affected page.
+	Shootdown func(t *Task, va uint64, size units.PageSize)
+
+	// KernelAllocated tracks frames held by unmovable kernel allocations,
+	// keyed by head PFN → order (for validation on free).
+	kernelAllocs map[uint64]int
+}
+
+// New boots a kernel over memBytes of physical memory. maxOrder selects the
+// buddy flavour: units.StockMaxOrder for unmodified Linux,
+// units.TridentMaxOrder for Trident's 1GB-extended free lists.
+func New(memBytes uint64, maxOrder int) *Kernel {
+	mem := phys.NewMemory(memBytes)
+	return &Kernel{
+		Mem:          mem,
+		Buddy:        buddy.New(mem, maxOrder),
+		tasks:        make(map[uint32]*Task),
+		kernelAllocs: make(map[uint64]int),
+	}
+}
+
+// NewTask creates a process with an empty address space.
+func (k *Kernel) NewTask(name string) *Task {
+	k.nextID++
+	t := &Task{Name: name, AS: vmm.NewAddressSpace(k.nextID)}
+	k.tasks[k.nextID] = t
+	return t
+}
+
+// TaskByID returns the task whose address space has the given ID.
+func (k *Kernel) TaskByID(id uint32) (*Task, bool) {
+	t, ok := k.tasks[id]
+	return t, ok
+}
+
+// Tasks returns all live tasks (order unspecified).
+func (k *Kernel) Tasks() []*Task {
+	out := make([]*Task, 0, len(k.tasks))
+	for _, t := range k.tasks {
+		out = append(out, t)
+	}
+	return out
+}
+
+// AllocMapped allocates a physical page of the given size and maps it at va
+// in t's address space, registering the reverse map. It returns the head
+// PFN. On allocation failure it returns buddy.ErrNoMemory without touching
+// the page table.
+func (k *Kernel) AllocMapped(t *Task, va uint64, size units.PageSize) (uint64, error) {
+	pfn, err := k.Buddy.Alloc(size.Order(), false)
+	if err != nil {
+		return 0, err
+	}
+	if err := k.mapOwned(t, va, pfn, size); err != nil {
+		k.Buddy.Free(pfn, size.Order())
+		return 0, err
+	}
+	return pfn, nil
+}
+
+// MapSpecific maps va to an already-allocated frame range (used by the
+// zero-fill pool, which pre-allocates and pre-zeroes 1GB chunks, and by
+// promotion, which allocates its target before tearing down old mappings).
+func (k *Kernel) MapSpecific(t *Task, va, pfn uint64, size units.PageSize) error {
+	return k.mapOwned(t, va, pfn, size)
+}
+
+func (k *Kernel) mapOwned(t *Task, va, pfn uint64, size units.PageSize) error {
+	if err := t.AS.PT.Map(va, pfn, size); err != nil {
+		return err
+	}
+	k.Mem.SetOwner(pfn, phys.Owner{Space: t.AS.ID, VA: va, Size: size})
+	return nil
+}
+
+// UnmapFree removes the mapping of the given size at va and returns its
+// frames to the buddy.
+func (k *Kernel) UnmapFree(t *Task, va uint64, size units.PageSize) error {
+	pfn, err := t.AS.PT.Unmap(va, size)
+	if err != nil {
+		return err
+	}
+	k.Mem.ClearOwner(pfn)
+	k.Buddy.Free(pfn, size.Order())
+	k.shootdown(t, va, size)
+	return nil
+}
+
+// UnmapKeep removes the mapping but keeps the frames allocated, returning
+// the head PFN. Promotion uses this to tear down small mappings whose
+// frames it then frees in bulk.
+func (k *Kernel) UnmapKeep(t *Task, va uint64, size units.PageSize) (uint64, error) {
+	pfn, err := t.AS.PT.Unmap(va, size)
+	if err != nil {
+		return 0, err
+	}
+	k.Mem.ClearOwner(pfn)
+	k.shootdown(t, va, size)
+	return pfn, nil
+}
+
+// MovePage repoints the mapping at va from its current frames to newPFN
+// (already allocated by the caller), freeing the old frames. This is the
+// page-table half of a compaction move; the caller accounts the data copy.
+func (k *Kernel) MovePage(t *Task, va uint64, size units.PageSize, newPFN uint64) error {
+	m, ok := t.AS.PT.Lookup(va)
+	if !ok || m.Size != size || m.VA != va {
+		return fmt.Errorf("kernel: MovePage: no %v mapping at %#x", size, va)
+	}
+	if err := t.AS.PT.Replace(va, size, newPFN); err != nil {
+		return err
+	}
+	k.Mem.ClearOwner(m.PFN)
+	k.Mem.SetOwner(newPFN, phys.Owner{Space: t.AS.ID, VA: va, Size: size})
+	k.Buddy.Free(m.PFN, size.Order())
+	k.shootdown(t, va, size)
+	return nil
+}
+
+// ExchangeFrames swaps the physical frames behind two same-size mappings
+// (possibly in different tasks). Neither data copy nor frame free occurs:
+// this is exactly the gPA→hPA exchange of Trident_pv (Figure 8c), applied
+// here to whatever layer's page table the kernel manages.
+func (k *Kernel) ExchangeFrames(t1 *Task, va1 uint64, t2 *Task, va2 uint64, size units.PageSize) error {
+	m1, ok1 := t1.AS.PT.Lookup(va1)
+	m2, ok2 := t2.AS.PT.Lookup(va2)
+	if !ok1 || !ok2 || m1.Size != size || m2.Size != size || m1.VA != va1 || m2.VA != va2 {
+		return fmt.Errorf("kernel: ExchangeFrames: mappings unsuitable")
+	}
+	if err := t1.AS.PT.Replace(va1, size, m2.PFN); err != nil {
+		return err
+	}
+	if err := t2.AS.PT.Replace(va2, size, m1.PFN); err != nil {
+		// Roll back.
+		if rbErr := t1.AS.PT.Replace(va1, size, m1.PFN); rbErr != nil {
+			panic(fmt.Sprintf("kernel: exchange rollback failed: %v", rbErr))
+		}
+		return err
+	}
+	k.Mem.ClearOwner(m1.PFN)
+	k.Mem.ClearOwner(m2.PFN)
+	k.Mem.SetOwner(m2.PFN, phys.Owner{Space: t1.AS.ID, VA: va1, Size: size})
+	k.Mem.SetOwner(m1.PFN, phys.Owner{Space: t2.AS.ID, VA: va2, Size: size})
+	k.shootdown(t1, va1, size)
+	k.shootdown(t2, va2, size)
+	return nil
+}
+
+// UnmapRange tears down every mapping intersecting [lo, hi), freeing the
+// frames. Huge mappings straddling the boundary are demoted until the
+// pieces inside the range can be freed exactly (what munmap does when a THP
+// page straddles the unmapped region).
+func (k *Kernel) UnmapRange(t *Task, lo, hi uint64) {
+	for {
+		var straddler uint64
+		var found bool
+		var inside []pagetable.Mapping
+		t.AS.PT.ForEach(lo, hi, func(m pagetable.Mapping) bool {
+			if m.VA < lo || m.VA+m.Size.Bytes() > hi {
+				straddler, found = m.VA, true
+				return false
+			}
+			inside = append(inside, m)
+			return true
+		})
+		if found {
+			if err := k.DemotePage(t, straddler); err != nil {
+				panic(fmt.Sprintf("kernel: UnmapRange demote at %#x: %v", straddler, err))
+			}
+			continue
+		}
+		for _, m := range inside {
+			if err := k.UnmapFree(t, m.VA, m.Size); err != nil {
+				panic(fmt.Sprintf("kernel: UnmapRange free at %#x: %v", m.VA, err))
+			}
+		}
+		return
+	}
+}
+
+// DemotePage splits the huge mapping at va into 512 mappings of the next
+// smaller size over the same frames, fixing up the reverse map. It is the
+// mechanism behind HawkEye-style bloat recovery (§7: "demoting large pages
+// and de-duplicating zero-filled small pages").
+func (k *Kernel) DemotePage(t *Task, va uint64) error {
+	m, ok := t.AS.PT.Lookup(va)
+	if !ok || m.Size == units.Size4K || m.VA != va {
+		return fmt.Errorf("kernel: DemotePage: no huge mapping headed at %#x", va)
+	}
+	sub := units.Size2M
+	if m.Size == units.Size2M {
+		sub = units.Size4K
+	}
+	k.Mem.ClearOwner(m.PFN)
+	if err := t.AS.PT.Demote(va); err != nil {
+		// Restore the owner we just cleared.
+		k.Mem.SetOwner(m.PFN, phys.Owner{Space: t.AS.ID, VA: va, Size: m.Size})
+		return err
+	}
+	for i := uint64(0); i < 512; i++ {
+		k.Mem.SetOwner(m.PFN+i*sub.Frames(), phys.Owner{
+			Space: t.AS.ID,
+			VA:    va + i*sub.Bytes(),
+			Size:  sub,
+		})
+	}
+	k.shootdown(t, va, m.Size)
+	return nil
+}
+
+// KernelAlloc allocates an unmovable kernel chunk of the given order
+// (inodes, DMA buffers, page-cache metadata — the objects that defeat
+// compaction, §5.1.3). Returns the head PFN.
+func (k *Kernel) KernelAlloc(order int) (uint64, error) {
+	pfn, err := k.Buddy.Alloc(order, true)
+	if err != nil {
+		return 0, err
+	}
+	k.kernelAllocs[pfn] = order
+	return pfn, nil
+}
+
+// KernelFree releases a kernel allocation made with KernelAlloc.
+func (k *Kernel) KernelFree(pfn uint64) error {
+	order, ok := k.kernelAllocs[pfn]
+	if !ok {
+		return fmt.Errorf("kernel: KernelFree of unknown pfn %d", pfn)
+	}
+	delete(k.kernelAllocs, pfn)
+	k.Buddy.Free(pfn, order)
+	return nil
+}
+
+// MovableAlloc allocates a movable chunk that is NOT mapped by any task —
+// modelling movable page-cache data. The fragmenter uses this for the
+// file-caching phase of the §3 methodology. Returns the head PFN.
+func (k *Kernel) MovableAlloc(order int) (uint64, error) {
+	return k.Buddy.Alloc(order, false)
+}
+
+// MovableFree releases a MovableAlloc chunk.
+func (k *Kernel) MovableFree(pfn uint64, order int) {
+	k.Buddy.Free(pfn, order)
+}
+
+func (k *Kernel) shootdown(t *Task, va uint64, size units.PageSize) {
+	if k.Shootdown != nil {
+		k.Shootdown(t, va, size)
+	}
+}
+
+// OwnerTask resolves a frame's owning task via the reverse map.
+func (k *Kernel) OwnerTask(pfn uint64) (*Task, phys.Owner, uint64, bool) {
+	o, head, ok := k.Mem.OwnerOf(pfn)
+	if !ok {
+		return nil, phys.Owner{}, 0, false
+	}
+	t, ok := k.tasks[o.Space]
+	if !ok {
+		return nil, phys.Owner{}, 0, false
+	}
+	return t, o, head, true
+}

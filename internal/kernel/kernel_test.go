@@ -1,0 +1,239 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/buddy"
+	"repro/internal/units"
+	"repro/internal/vmm"
+)
+
+func newKernel(t *testing.T, gb uint64) *Kernel {
+	t.Helper()
+	return New(gb*units.Page1G, units.TridentMaxOrder)
+}
+
+func TestNewTaskIDs(t *testing.T) {
+	k := newKernel(t, 1)
+	t1 := k.NewTask("a")
+	t2 := k.NewTask("b")
+	if t1.AS.ID == t2.AS.ID || t1.AS.ID == 0 {
+		t.Errorf("task IDs = %d, %d", t1.AS.ID, t2.AS.ID)
+	}
+	got, ok := k.TaskByID(t1.AS.ID)
+	if !ok || got != t1 {
+		t.Error("TaskByID failed")
+	}
+	if len(k.Tasks()) != 2 {
+		t.Errorf("Tasks() = %d", len(k.Tasks()))
+	}
+}
+
+func TestAllocMappedRoundtrip(t *testing.T) {
+	k := newKernel(t, 1)
+	task := k.NewTask("p")
+	va, err := task.AS.MMap(units.Page2M, vmm.KindAnon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfn, err := k.AllocMapped(task, va, units.Size2M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := task.AS.PT.Lookup(va)
+	if !ok || m.PFN != pfn || m.Size != units.Size2M {
+		t.Fatalf("mapping = %+v", m)
+	}
+	// Reverse map resolves.
+	owner, o, head, ok := k.OwnerTask(pfn + 5)
+	if !ok || owner != task || head != pfn || o.VA != va {
+		t.Fatalf("OwnerTask = %v %+v %d %v", owner, o, head, ok)
+	}
+	if err := k.UnmapFree(task, va, units.Size2M); err != nil {
+		t.Fatal(err)
+	}
+	if k.Mem.AllocatedFrames() != 0 {
+		t.Error("frames leaked after UnmapFree")
+	}
+	if _, _, _, ok := k.OwnerTask(pfn); ok {
+		t.Error("owner survived UnmapFree")
+	}
+}
+
+func TestAllocMappedNoMemory(t *testing.T) {
+	k := newKernel(t, 1)
+	task := k.NewTask("p")
+	if _, err := k.AllocMapped(task, 0, units.Size1G); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.AllocMapped(task, units.Page1G, units.Size1G); err != buddy.ErrNoMemory {
+		t.Errorf("expected ErrNoMemory, got %v", err)
+	}
+}
+
+func TestAllocMappedOverlapRollsBack(t *testing.T) {
+	k := newKernel(t, 1)
+	task := k.NewTask("p")
+	if _, err := k.AllocMapped(task, 0, units.Size4K); err != nil {
+		t.Fatal(err)
+	}
+	free := k.Mem.FreeFrames()
+	if _, err := k.AllocMapped(task, 0, units.Size4K); err == nil {
+		t.Fatal("overlapping map succeeded")
+	}
+	if k.Mem.FreeFrames() != free {
+		t.Error("failed AllocMapped leaked frames")
+	}
+}
+
+func TestUnmapKeep(t *testing.T) {
+	k := newKernel(t, 1)
+	task := k.NewTask("p")
+	pfn, err := k.AllocMapped(task, 0, units.Size4K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := k.UnmapKeep(task, 0, units.Size4K)
+	if err != nil || got != pfn {
+		t.Fatalf("UnmapKeep = %d, %v", got, err)
+	}
+	if !k.Mem.IsAllocated(pfn) {
+		t.Error("UnmapKeep freed the frame")
+	}
+	k.Buddy.Free(pfn, 0)
+}
+
+func TestMovePage(t *testing.T) {
+	k := newKernel(t, 1)
+	task := k.NewTask("p")
+	oldPFN, err := k.AllocMapped(task, 0, units.Size4K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newPFN, err := k.Buddy.Alloc(0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shot bool
+	k.Shootdown = func(tt *Task, va uint64, size units.PageSize) { shot = true }
+	if err := k.MovePage(task, 0, units.Size4K, newPFN); err != nil {
+		t.Fatal(err)
+	}
+	if !shot {
+		t.Error("MovePage did not shoot down TLBs")
+	}
+	m, _ := task.AS.PT.Lookup(0)
+	if m.PFN != newPFN {
+		t.Errorf("PFN after move = %d", m.PFN)
+	}
+	if k.Mem.IsAllocated(oldPFN) {
+		t.Error("old frame not freed")
+	}
+	if _, o, _, ok := k.OwnerTask(newPFN); !ok || o.VA != 0 {
+		t.Error("owner not transferred")
+	}
+}
+
+func TestMovePageErrors(t *testing.T) {
+	k := newKernel(t, 1)
+	task := k.NewTask("p")
+	if err := k.MovePage(task, 0, units.Size4K, 1); err == nil {
+		t.Error("MovePage of unmapped va succeeded")
+	}
+	if _, err := k.AllocMapped(task, 0, units.Size2M); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong size.
+	if err := k.MovePage(task, 0, units.Size4K, 1); err == nil {
+		t.Error("MovePage with wrong size succeeded")
+	}
+	// Interior address (not the head).
+	if err := k.MovePage(task, units.Page4K, units.Size2M, 1); err == nil {
+		t.Error("MovePage at non-head va succeeded")
+	}
+}
+
+func TestExchangeFrames(t *testing.T) {
+	k := newKernel(t, 2)
+	t1 := k.NewTask("a")
+	t2 := k.NewTask("b")
+	p1, err := k.AllocMapped(t1, 0, units.Size2M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := k.AllocMapped(t2, units.Page2M*5, units.Size2M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := k.Mem.FreeFrames()
+	if err := k.ExchangeFrames(t1, 0, t2, units.Page2M*5, units.Size2M); err != nil {
+		t.Fatal(err)
+	}
+	m1, _ := t1.AS.PT.Lookup(0)
+	m2, _ := t2.AS.PT.Lookup(units.Page2M * 5)
+	if m1.PFN != p2 || m2.PFN != p1 {
+		t.Errorf("exchange: %d,%d want %d,%d", m1.PFN, m2.PFN, p2, p1)
+	}
+	if k.Mem.FreeFrames() != free {
+		t.Error("exchange changed free-frame count")
+	}
+	// Owners swapped.
+	if task, _, _, _ := k.OwnerTask(p1); task != t2 {
+		t.Error("owner of p1 not transferred to t2")
+	}
+	if task, _, _, _ := k.OwnerTask(p2); task != t1 {
+		t.Error("owner of p2 not transferred to t1")
+	}
+}
+
+func TestExchangeFramesSizeMismatch(t *testing.T) {
+	k := newKernel(t, 2)
+	t1 := k.NewTask("a")
+	if _, err := k.AllocMapped(t1, 0, units.Size2M); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.AllocMapped(t1, units.Page1G, units.Size4K); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.ExchangeFrames(t1, 0, t1, units.Page1G, units.Size2M); err == nil {
+		t.Error("size-mismatched exchange succeeded")
+	}
+}
+
+func TestKernelAllocUnmovable(t *testing.T) {
+	k := newKernel(t, 1)
+	pfn, err := k.KernelAlloc(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k.Mem.IsUnmovable(pfn) {
+		t.Error("kernel alloc not unmovable")
+	}
+	if k.Mem.Region(units.RegionOfFrame(pfn)).Unmovable != 8 {
+		t.Error("region unmovable counter wrong")
+	}
+	if err := k.KernelFree(pfn); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.KernelFree(pfn); err == nil {
+		t.Error("double kernel free succeeded")
+	}
+	if k.Mem.UnmovableFrames() != 0 {
+		t.Error("unmovable frames leaked")
+	}
+}
+
+func TestMovableAllocFree(t *testing.T) {
+	k := newKernel(t, 1)
+	pfn, err := k.MovableAlloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Mem.IsUnmovable(pfn) {
+		t.Error("movable alloc marked unmovable")
+	}
+	k.MovableFree(pfn, 0)
+	if k.Mem.AllocatedFrames() != 0 {
+		t.Error("leak")
+	}
+}

@@ -1,0 +1,147 @@
+// Package mmu is the translation front-end of a simulated core: every
+// memory reference goes through the TLB hierarchy; misses trigger a page
+// walk whose memory-access count is shortened by the paging-structure
+// caches; under virtualization the walk is two-dimensional.
+//
+// The nested-walk arithmetic follows §2 of the paper: with g guest-walk
+// accesses and h host-walk accesses per guest-structure access, a nested
+// walk costs g + (g+1)·h memory accesses — 24 for 4KB+4KB, 15 for 2MB+2MB,
+// 8 for 1GB+1GB before paging-structure caches.
+//
+// Hardware TLBs cache the combined gVA→hPA translation at the smaller of
+// the guest and host page sizes, which is why the paper's Figure 2 pairs
+// page sizes at both levels: a 1GB guest page over a 4KB host mapping still
+// thrashes the 4KB TLB.
+package mmu
+
+import (
+	"repro/internal/pagetable"
+	"repro/internal/perfmodel"
+	"repro/internal/tlb"
+	"repro/internal/units"
+)
+
+// MMU simulates one core's translation hardware.
+type MMU struct {
+	TLB *tlb.Hierarchy
+	// PWC is the paging-structure cache used for the (guest) walk.
+	PWC *tlb.PWC
+	// HostPWC shortens the host dimension of nested walks; nil for native
+	// operation.
+	HostPWC *tlb.PWC
+
+	// BySize accumulates translation stats per effective page size.
+	BySize [units.NumPageSizes]perfmodel.TranslationStats
+	// Faults counts references to unmapped addresses (the caller should
+	// fault and retry).
+	Faults uint64
+}
+
+// New creates a native-mode MMU with the given translation-cache config.
+func New(cfg tlb.Config) *MMU {
+	return &MMU{TLB: tlb.NewHierarchy(cfg), PWC: tlb.NewPWC(cfg)}
+}
+
+// NewNested creates an MMU for virtualized runs: guest and host dimensions
+// get their own paging-structure caches.
+func NewNested(cfg tlb.Config) *MMU {
+	m := New(cfg)
+	m.HostPWC = tlb.NewPWC(cfg)
+	return m
+}
+
+// Translate performs one native reference. It returns false if va is
+// unmapped (a page fault the caller must service before retrying).
+func (m *MMU) Translate(pt *pagetable.Table, va uint64, write bool) bool {
+	mapping, ok := pt.Lookup(va)
+	if !ok {
+		m.Faults++
+		return false
+	}
+	size := mapping.Size
+	st := &m.BySize[size]
+	st.Accesses++
+	switch m.TLB.Access(va, size) {
+	case tlb.HitL1:
+	case tlb.HitL2:
+		st.L2Hits++
+	case tlb.Miss:
+		st.Walks++
+		st.WalkMemAccesses += uint64(m.PWC.WalkAccesses(va, size))
+		// The hardware walker sets the accessed (and dirty) bits.
+		pt.Translate(va, write)
+	}
+	return true
+}
+
+// TranslateNested performs one reference in a VM: gVA→gPA through the guest
+// table, gPA→hPA through the host table. The TLB caches the combined
+// translation at the smaller of the two page sizes. It returns false on a
+// guest fault; a missing host mapping panics, because the hypervisor in
+// this simulator always backs guest memory.
+func (m *MMU) TranslateNested(gpt, hpt *pagetable.Table, va uint64, write bool) bool {
+	gm, ok := gpt.Lookup(va)
+	if !ok {
+		m.Faults++
+		return false
+	}
+	gpa := units.FrameAddr(gm.PFN) + (va - gm.VA)
+	hm, ok := hpt.Lookup(gpa)
+	if !ok {
+		panic("mmu: guest physical address not backed by host mapping")
+	}
+	eff := gm.Size
+	if hm.Size < eff {
+		eff = hm.Size
+	}
+	st := &m.BySize[eff]
+	st.Accesses++
+	switch m.TLB.Access(va, eff) {
+	case tlb.HitL1:
+	case tlb.HitL2:
+		st.L2Hits++
+	case tlb.Miss:
+		st.Walks++
+		g := m.PWC.WalkAccesses(va, gm.Size)
+		h := m.HostPWC.WalkAccesses(gpa, hm.Size)
+		st.WalkMemAccesses += uint64(g + (g+1)*h)
+		gpt.Translate(va, write)
+		hpt.Translate(gpa, write)
+	}
+	return true
+}
+
+// Totals sums the per-size stats.
+func (m *MMU) Totals() perfmodel.TranslationStats {
+	var s perfmodel.TranslationStats
+	for i := range m.BySize {
+		s.Add(m.BySize[i])
+	}
+	return s
+}
+
+// FlushPage invalidates one page's cached translations (TLB shootdown of a
+// remapped page). The paging-structure caches are left alone: their entries
+// point at intermediate tables, which remain valid.
+func (m *MMU) FlushPage(va uint64, size units.PageSize) {
+	m.TLB.InvalidatePage(va, size)
+}
+
+// FlushAll empties all translation caches.
+func (m *MMU) FlushAll() {
+	m.TLB.FlushAll()
+	m.PWC.Flush()
+	if m.HostPWC != nil {
+		m.HostPWC.Flush()
+	}
+}
+
+// ResetStats zeroes counters while keeping cache contents warm (used
+// between warmup and measurement phases).
+func (m *MMU) ResetStats() {
+	for i := range m.BySize {
+		m.BySize[i] = perfmodel.TranslationStats{}
+	}
+	m.Faults = 0
+	m.TLB.ResetStats()
+}

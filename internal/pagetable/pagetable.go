@@ -1,0 +1,455 @@
+// Package pagetable implements a 4-level x86-64 radix page table with leaf
+// mappings at all three architectural sizes: 4KB (PTE), 2MB (PDE with PS=1)
+// and 1GB (PDPTE with PS=1).
+//
+// The structure mirrors hardware: entries carry present/PS/accessed/dirty
+// bits, and a translation reports how many page-table memory accesses a
+// hardware walker would perform — 4 for a 4KB mapping, 3 for 2MB, 2 for 1GB
+// (§2 of the paper). Those counts are the raw material of the paper's
+// walk-cycle measurements; package mmu combines them with TLBs, page-walk
+// caches and (under virtualization) the 2D nested-walk formula.
+//
+// Access and dirty bits are set by Translate and can be cleared and sampled
+// over address ranges, which is how the paper's Figure-4 experiment and
+// HawkEye's kbinmanager estimate per-region TLB pressure.
+package pagetable
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Entry flag bits, following the x86 layout where it matters.
+const (
+	flagPresent  = 1 << 0
+	flagAccessed = 1 << 5
+	flagDirty    = 1 << 6
+	flagPS       = 1 << 7 // leaf at a non-terminal level (2MB/1GB page)
+
+	pfnShift = 12
+)
+
+// VABits is the width of the simulated canonical virtual address space.
+const VABits = 48
+
+// MaxVA is the exclusive upper bound of usable (lower-half) virtual addresses.
+const MaxVA = uint64(1) << (VABits - 1)
+
+// Errors returned by mapping operations.
+var (
+	ErrOverlap    = errors.New("pagetable: range overlaps an existing mapping")
+	ErrNotMapped  = errors.New("pagetable: address not mapped at that size")
+	ErrBadAddress = errors.New("pagetable: address out of range or misaligned")
+)
+
+// Mapping describes one leaf mapping.
+type Mapping struct {
+	VA       uint64 // virtual address of the page head
+	PFN      uint64 // physical frame number of the page head
+	Size     units.PageSize
+	Accessed bool
+	Dirty    bool
+}
+
+// Table is one address space's page table.
+type Table struct {
+	root        *node // level 4 (PML4)
+	mappedBytes [units.NumPageSizes]uint64
+	mappedPages [units.NumPageSizes]uint64
+}
+
+type node struct {
+	entries  [512]uint64
+	children []*node // allocated only for levels > 1
+	live     int     // number of present entries, for table reclamation
+}
+
+func newNode(level int) *node {
+	n := &node{}
+	if level > 1 {
+		n.children = make([]*node, 512)
+	}
+	return n
+}
+
+// New creates an empty page table.
+func New() *Table { return &Table{root: newNode(4)} }
+
+// leafLevel returns the level at which a page of the given size terminates:
+// 3 for 1GB (PDPTE), 2 for 2MB (PDE), 1 for 4KB (PTE).
+func leafLevel(size units.PageSize) int {
+	switch size {
+	case units.Size1G:
+		return 3
+	case units.Size2M:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// WalkAccesses returns the number of page-table memory accesses a hardware
+// walk performs for a native mapping of the given size (4/3/2 for
+// 4KB/2MB/1GB).
+func WalkAccesses(size units.PageSize) int { return 5 - leafLevel(size) }
+
+// NestedWalkAccesses returns the number of memory accesses of a 2D
+// (virtualized) page walk when the guest maps with gs and the host with hs:
+// (g+1)*(h+1)-1, giving the paper's 24 / 15 / 8 for 4KB/2MB/1GB at both
+// levels (§2).
+func NestedWalkAccesses(gs, hs units.PageSize) int {
+	return (WalkAccesses(gs)+1)*(WalkAccesses(hs)+1) - 1
+}
+
+func index(va uint64, level int) int {
+	return int((va >> uint(12+9*(level-1))) & 0x1ff)
+}
+
+func checkVA(va uint64, size units.PageSize) error {
+	if va >= MaxVA || !units.IsAligned(va, size.Bytes()) {
+		return ErrBadAddress
+	}
+	return nil
+}
+
+// Map installs a leaf mapping of the given size at va → pfn. The entire
+// range must be unmapped; otherwise ErrOverlap is returned and the table is
+// unchanged.
+func (t *Table) Map(va, pfn uint64, size units.PageSize) error {
+	if err := checkVA(va, size); err != nil {
+		return err
+	}
+	if t.rangeMapped(va, va+size.Bytes()) {
+		return ErrOverlap
+	}
+	target := leafLevel(size)
+	n := t.root
+	for level := 4; level > target; level-- {
+		i := index(va, level)
+		if n.entries[i]&flagPresent == 0 {
+			child := newNode(level - 1)
+			n.children[i] = child
+			n.entries[i] = flagPresent
+			n.live++
+		} else if n.entries[i]&flagPS != 0 {
+			return ErrOverlap // covered by a larger leaf (defensive; rangeMapped caught it)
+		}
+		n = n.children[i]
+	}
+	i := index(va, target)
+	if n.entries[i]&flagPresent != 0 {
+		return ErrOverlap
+	}
+	e := uint64(flagPresent) | pfn<<pfnShift
+	if target > 1 {
+		e |= flagPS
+	}
+	n.entries[i] = e
+	n.live++
+	t.mappedBytes[size] += size.Bytes()
+	t.mappedPages[size]++
+	return nil
+}
+
+// rangeMapped reports whether any leaf mapping intersects [lo, hi).
+func (t *Table) rangeMapped(lo, hi uint64) bool {
+	found := false
+	t.ForEach(lo, hi, func(Mapping) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// Unmap removes the leaf mapping of exactly the given size at va and returns
+// its PFN. Empty intermediate tables are reclaimed.
+func (t *Table) Unmap(va uint64, size units.PageSize) (uint64, error) {
+	if err := checkVA(va, size); err != nil {
+		return 0, err
+	}
+	target := leafLevel(size)
+	var path [5]*node
+	n := t.root
+	for level := 4; level > target; level-- {
+		path[level] = n
+		i := index(va, level)
+		if n.entries[i]&flagPresent == 0 || n.entries[i]&flagPS != 0 {
+			return 0, ErrNotMapped
+		}
+		n = n.children[i]
+	}
+	i := index(va, target)
+	e := n.entries[i]
+	if e&flagPresent == 0 {
+		return 0, ErrNotMapped
+	}
+	if target > 1 && e&flagPS == 0 {
+		return 0, ErrNotMapped // intermediate table, not a leaf of this size
+	}
+	pfn := e >> pfnShift
+	n.entries[i] = 0
+	n.live--
+	t.mappedBytes[size] -= size.Bytes()
+	t.mappedPages[size]--
+	// Reclaim now-empty tables bottom-up.
+	for level := target + 1; level <= 4 && n.live == 0; level++ {
+		parent := path[level]
+		if parent == nil {
+			break
+		}
+		pi := index(va, level)
+		parent.children[pi] = nil
+		parent.entries[pi] = 0
+		parent.live--
+		n = parent
+	}
+	return pfn, nil
+}
+
+// Lookup returns the leaf mapping covering va, if any. It does not set
+// access bits.
+func (t *Table) Lookup(va uint64) (Mapping, bool) {
+	if va >= MaxVA {
+		return Mapping{}, false
+	}
+	n := t.root
+	for level := 4; level >= 1; level-- {
+		i := index(va, level)
+		e := n.entries[i]
+		if e&flagPresent == 0 {
+			return Mapping{}, false
+		}
+		if level == 1 || e&flagPS != 0 {
+			size := sizeOfLevel(level)
+			return Mapping{
+				VA:       units.Align(va, size.Bytes()),
+				PFN:      e >> pfnShift,
+				Size:     size,
+				Accessed: e&flagAccessed != 0,
+				Dirty:    e&flagDirty != 0,
+			}, true
+		}
+		n = n.children[i]
+	}
+	return Mapping{}, false
+}
+
+func sizeOfLevel(level int) units.PageSize {
+	switch level {
+	case 3:
+		return units.Size1G
+	case 2:
+		return units.Size2M
+	default:
+		return units.Size4K
+	}
+}
+
+// Translate resolves va to a physical address, setting the accessed bit (and
+// dirty bit if write), exactly as the hardware walker does. It returns the
+// physical address, the mapping, and whether va was mapped.
+func (t *Table) Translate(va uint64, write bool) (uint64, Mapping, bool) {
+	if va >= MaxVA {
+		return 0, Mapping{}, false
+	}
+	n := t.root
+	for level := 4; level >= 1; level-- {
+		i := index(va, level)
+		e := n.entries[i]
+		if e&flagPresent == 0 {
+			return 0, Mapping{}, false
+		}
+		if level == 1 || e&flagPS != 0 {
+			e |= flagAccessed
+			if write {
+				e |= flagDirty
+			}
+			n.entries[i] = e
+			size := sizeOfLevel(level)
+			m := Mapping{
+				VA:       units.Align(va, size.Bytes()),
+				PFN:      e >> pfnShift,
+				Size:     size,
+				Accessed: true,
+				Dirty:    e&flagDirty != 0,
+			}
+			offset := va - m.VA
+			return units.FrameAddr(m.PFN) + offset, m, true
+		}
+		n = n.children[i]
+	}
+	return 0, Mapping{}, false
+}
+
+// Replace repoints the leaf mapping at va (of the given size) to a new PFN,
+// preserving flags. It is the page-table half of a compaction move.
+func (t *Table) Replace(va uint64, size units.PageSize, newPFN uint64) error {
+	if err := checkVA(va, size); err != nil {
+		return err
+	}
+	target := leafLevel(size)
+	n := t.root
+	for level := 4; level > target; level-- {
+		i := index(va, level)
+		if n.entries[i]&flagPresent == 0 || n.entries[i]&flagPS != 0 {
+			return ErrNotMapped
+		}
+		n = n.children[i]
+	}
+	i := index(va, target)
+	e := n.entries[i]
+	if e&flagPresent == 0 || (target > 1 && e&flagPS == 0) {
+		return ErrNotMapped
+	}
+	flags := e & (flagPresent | flagAccessed | flagDirty | flagPS)
+	n.entries[i] = flags | newPFN<<pfnShift
+	return nil
+}
+
+// ForEach visits every leaf mapping intersecting [lo, hi) in ascending VA
+// order. fn returning false stops the iteration.
+func (t *Table) ForEach(lo, hi uint64, fn func(Mapping) bool) {
+	if hi > MaxVA {
+		hi = MaxVA
+	}
+	if lo >= hi {
+		return
+	}
+	t.walkNode(t.root, 4, 0, lo, hi, fn)
+}
+
+func (t *Table) walkNode(n *node, level int, base, lo, hi uint64, fn func(Mapping) bool) bool {
+	span := uint64(1) << uint(12+9*(level-1)) // bytes covered per entry
+	first, last := 0, 511
+	if base < lo {
+		first = int((lo - base) / span)
+	}
+	if base+512*span > hi {
+		last = int((hi - base - 1) / span)
+	}
+	for i := first; i <= last; i++ {
+		e := n.entries[i]
+		if e&flagPresent == 0 {
+			continue
+		}
+		entryBase := base + uint64(i)*span
+		if level == 1 || e&flagPS != 0 {
+			size := sizeOfLevel(level)
+			m := Mapping{
+				VA:       entryBase,
+				PFN:      e >> pfnShift,
+				Size:     size,
+				Accessed: e&flagAccessed != 0,
+				Dirty:    e&flagDirty != 0,
+			}
+			if !fn(m) {
+				return false
+			}
+			continue
+		}
+		if !t.walkNode(n.children[i], level-1, entryBase, lo, hi, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// ClearAccessed clears the accessed bit of every leaf mapping intersecting
+// [lo, hi) and returns the number of mappings that had it set. This is the
+// PTE-access-bit sampling primitive of §4.3 and of HawkEye's kbinmanager.
+func (t *Table) ClearAccessed(lo, hi uint64) int {
+	cleared := 0
+	t.forEachEntry(t.root, 4, 0, lo, hi, func(n *node, i int) {
+		if n.entries[i]&flagAccessed != 0 {
+			n.entries[i] &^= flagAccessed
+			cleared++
+		}
+	})
+	return cleared
+}
+
+func (t *Table) forEachEntry(n *node, level int, base, lo, hi uint64, fn func(*node, int)) {
+	span := uint64(1) << uint(12+9*(level-1))
+	first, last := 0, 511
+	if base < lo {
+		first = int((lo - base) / span)
+	}
+	if base+512*span > hi {
+		last = int((hi - base - 1) / span)
+	}
+	for i := first; i <= last; i++ {
+		e := n.entries[i]
+		if e&flagPresent == 0 {
+			continue
+		}
+		entryBase := base + uint64(i)*span
+		if level == 1 || e&flagPS != 0 {
+			fn(n, i)
+			continue
+		}
+		t.forEachEntry(n.children[i], level-1, entryBase, lo, hi, fn)
+	}
+}
+
+// MappedBytes returns the bytes currently mapped with the given page size.
+func (t *Table) MappedBytes(size units.PageSize) uint64 { return t.mappedBytes[size] }
+
+// MappedPages returns the number of leaf mappings of the given page size.
+func (t *Table) MappedPages(size units.PageSize) uint64 { return t.mappedPages[size] }
+
+// TotalMappedBytes returns the bytes mapped at any page size.
+func (t *Table) TotalMappedBytes() uint64 {
+	var sum uint64
+	for s := units.PageSize(0); s < units.NumPageSizes; s++ {
+		sum += t.mappedBytes[s]
+	}
+	return sum
+}
+
+// Demote splits the huge leaf at va into 512 mappings of the next smaller
+// size covering the same physical frames (1GB → 512×2MB, 2MB → 512×4KB).
+// Access/dirty bits are inherited. This is used by HawkEye-style bloat
+// recovery and by Trident_pv's fallback paths.
+func (t *Table) Demote(va uint64) error {
+	m, ok := t.Lookup(va)
+	if !ok {
+		return ErrNotMapped
+	}
+	if m.Size == units.Size4K {
+		return fmt.Errorf("pagetable: cannot demote a 4KB mapping")
+	}
+	var sub units.PageSize
+	if m.Size == units.Size1G {
+		sub = units.Size2M
+	} else {
+		sub = units.Size4K
+	}
+	if _, err := t.Unmap(m.VA, m.Size); err != nil {
+		return err
+	}
+	for i := uint64(0); i < 512; i++ {
+		subVA := m.VA + i*sub.Bytes()
+		subPFN := m.PFN + i*sub.Frames()
+		if err := t.Map(subVA, subPFN, sub); err != nil {
+			// Cannot happen: we just unmapped the covering leaf.
+			panic(fmt.Sprintf("pagetable: demote remap failed: %v", err))
+		}
+		if m.Accessed || m.Dirty {
+			t.setFlags(subVA, m.Accessed, m.Dirty)
+		}
+	}
+	return nil
+}
+
+func (t *Table) setFlags(va uint64, accessed, dirty bool) {
+	t.forEachEntry(t.root, 4, 0, va, va+1, func(n *node, i int) {
+		if accessed {
+			n.entries[i] |= flagAccessed
+		}
+		if dirty {
+			n.entries[i] |= flagDirty
+		}
+	})
+}

@@ -1,0 +1,152 @@
+package pagetable
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+	"repro/internal/xrand"
+)
+
+// Property: Translate agrees with Lookup on address and mapping for any
+// mapped page, at any offset within the page.
+func TestQuickTranslateLookupAgreement(t *testing.T) {
+	f := func(seed uint64) bool {
+		pt := New()
+		rng := xrand.New(seed)
+		sizes := []units.PageSize{units.Size4K, units.Size2M, units.Size1G}
+		type ent struct {
+			va  uint64
+			pfn uint64
+			sz  units.PageSize
+		}
+		var ents []ent
+		for i := 0; i < 50; i++ {
+			sz := sizes[rng.Intn(3)]
+			va := rng.Uint64n(128) * units.Page1G
+			if sz != units.Size1G {
+				va += rng.Uint64n(units.Page1G/sz.Bytes()) * sz.Bytes()
+			}
+			pfn := rng.Uint64n(1<<20) * sz.Frames()
+			if err := pt.Map(va, pfn, sz); err != nil {
+				continue
+			}
+			ents = append(ents, ent{va, pfn, sz})
+		}
+		for _, e := range ents {
+			off := rng.Uint64n(e.sz.Bytes())
+			pa, m, ok := pt.Translate(e.va+off, false)
+			if !ok || m.PFN != e.pfn || m.Size != e.sz {
+				return false
+			}
+			if pa != units.FrameAddr(e.pfn)+off {
+				return false
+			}
+			lm, lok := pt.Lookup(e.va + off)
+			if !lok || lm.PFN != m.PFN || lm.Size != m.Size || lm.VA != e.va {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mapped-bytes accounting always equals a direct ForEach recount,
+// through arbitrary map/unmap/demote sequences.
+func TestQuickAccountingConsistency(t *testing.T) {
+	f := func(seed uint64) bool {
+		pt := New()
+		rng := xrand.New(seed)
+		var heads []Mapping
+		for step := 0; step < 300; step++ {
+			switch rng.Intn(3) {
+			case 0: // map
+				sz := []units.PageSize{units.Size4K, units.Size2M, units.Size1G}[rng.Intn(3)]
+				va := rng.Uint64n(32) * units.Page1G
+				if sz != units.Size1G {
+					va += rng.Uint64n(units.Page1G/sz.Bytes()) * sz.Bytes()
+				}
+				if pt.Map(va, rng.Uint64n(1<<18)*sz.Frames(), sz) == nil {
+					heads = append(heads, Mapping{VA: va, Size: sz})
+				}
+			case 1: // unmap
+				if len(heads) == 0 {
+					continue
+				}
+				i := rng.Intn(len(heads))
+				if _, err := pt.Unmap(heads[i].VA, heads[i].Size); err != nil {
+					return false
+				}
+				heads[i] = heads[len(heads)-1]
+				heads = heads[:len(heads)-1]
+			case 2: // demote a huge mapping
+				if len(heads) == 0 {
+					continue
+				}
+				i := rng.Intn(len(heads))
+				h := heads[i]
+				if h.Size == units.Size4K {
+					continue
+				}
+				if err := pt.Demote(h.VA); err != nil {
+					return false
+				}
+				// Replace the head with its 512 sub-heads.
+				sub := units.Size2M
+				if h.Size == units.Size2M {
+					sub = units.Size4K
+				}
+				heads[i] = heads[len(heads)-1]
+				heads = heads[:len(heads)-1]
+				for j := uint64(0); j < 512; j++ {
+					heads = append(heads, Mapping{VA: h.VA + j*sub.Bytes(), Size: sub})
+				}
+			}
+		}
+		// Recount via ForEach and compare with the accounting.
+		var bytes [units.NumPageSizes]uint64
+		var pages [units.NumPageSizes]uint64
+		pt.ForEach(0, MaxVA, func(m Mapping) bool {
+			bytes[m.Size] += m.Size.Bytes()
+			pages[m.Size]++
+			return true
+		})
+		for s := units.PageSize(0); s < units.NumPageSizes; s++ {
+			if pt.MappedBytes(s) != bytes[s] || pt.MappedPages(s) != pages[s] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ClearAccessed(whole space) after k translations reports exactly
+// the number of distinct pages touched.
+func TestQuickAccessBitCounting(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		pt := New()
+		n := int(nRaw%64) + 1
+		for i := 0; i < 128; i++ {
+			if err := pt.Map(uint64(i)*units.Page4K, uint64(i), units.Size4K); err != nil {
+				return false
+			}
+		}
+		rng := xrand.New(seed)
+		touched := map[uint64]bool{}
+		for i := 0; i < n; i++ {
+			page := rng.Uint64n(128)
+			pt.Translate(page*units.Page4K, false)
+			touched[page] = true
+		}
+		return pt.ClearAccessed(0, MaxVA) == len(touched)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

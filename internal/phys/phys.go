@@ -1,0 +1,270 @@
+// Package phys models the machine's physical memory as pure bookkeeping:
+// which 4KB frames are allocated, which hold unmovable (kernel) data, who
+// maps each frame, and — central to Trident's smart compaction (§5.1.3) —
+// two counters per 1GB region:
+//
+//   - the number of free frames in the region, and
+//   - the number of frames holding unmovable data.
+//
+// The paper maintains exactly these counters in the buddy allocator's
+// alloc/free paths; here they are updated by MarkAllocated/MarkFree, which
+// the buddy allocator (package buddy) calls on every allocation and free.
+//
+// No data bytes are stored: every quantity the paper measures (bytes copied
+// by compaction, pages promoted, TLB behaviour, allocation failures) depends
+// only on which frames are in use, not on their contents.
+package phys
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/units"
+)
+
+// Owner records which virtual mapping covers a physical page, so that
+// compaction can rewrite the owning page-table entry after moving the page.
+// It is the simulator's equivalent of Linux's reverse map (rmap).
+type Owner struct {
+	// Space identifies the owning address space (assigned by the kernel;
+	// 0 is reserved for "no owner").
+	Space uint32
+	// VA is the virtual address the mapping starts at.
+	VA uint64
+	// Size is the page size of the mapping.
+	Size units.PageSize
+}
+
+// RegionStats are Trident's per-1GB-region counters.
+type RegionStats struct {
+	// Free is the number of free 4KB frames in the region.
+	Free uint64
+	// Unmovable is the number of allocated frames holding unmovable data
+	// (kernel objects, DMA buffers, page-cache metadata...). A region with
+	// Unmovable > 0 can never be fully freed by compaction.
+	Unmovable uint64
+	// Zeroed reports that the whole (fully free) region has been zero-filled
+	// by the asynchronous zero-fill daemon (§5.1.2) and not touched since.
+	// Any allocation in the region clears it.
+	Zeroed bool
+}
+
+// Memory is the bookkeeping view of physical memory.
+type Memory struct {
+	frames    uint64 // total number of 4KB frames
+	regions   []RegionStats
+	allocated bitset
+	unmovable bitset
+
+	// rmap holds, for the head frame of each user mapping, an index+1 into
+	// owners. Non-head frames and unmapped frames hold 0.
+	rmap      []uint32
+	owners    []Owner
+	ownerFree []uint32
+
+	allocFrames     uint64
+	unmovableFrames uint64
+}
+
+// NewMemory creates the bookkeeping for a machine with the given physical
+// memory size, which must be a positive multiple of 1GB (regions must tile
+// memory exactly, as in the paper's region-counter design).
+func NewMemory(bytes uint64) *Memory {
+	if bytes == 0 || bytes%units.Page1G != 0 {
+		panic(fmt.Sprintf("phys: memory size %d is not a positive multiple of 1GB", bytes))
+	}
+	frames := bytes / units.Page4K
+	nRegions := bytes / units.Page1G
+	m := &Memory{
+		frames:    frames,
+		regions:   make([]RegionStats, nRegions),
+		allocated: newBitset(frames),
+		unmovable: newBitset(frames),
+		rmap:      make([]uint32, frames),
+		owners:    []Owner{{}}, // index 0 reserved
+	}
+	for i := range m.regions {
+		m.regions[i].Free = units.FramesPerRegion
+	}
+	return m
+}
+
+// Bytes returns the total physical memory size.
+func (m *Memory) Bytes() uint64 { return m.frames * units.Page4K }
+
+// Frames returns the total number of 4KB frames.
+func (m *Memory) Frames() uint64 { return m.frames }
+
+// NumRegions returns the number of 1GB regions.
+func (m *Memory) NumRegions() uint64 { return uint64(len(m.regions)) }
+
+// Region returns the counters for 1GB region r.
+func (m *Memory) Region(r uint64) RegionStats { return m.regions[r] }
+
+// SetRegionZeroed marks region r as zero-filled. The region must be fully
+// free; the flag clears automatically on any allocation in the region.
+func (m *Memory) SetRegionZeroed(r uint64) {
+	if m.regions[r].Free != units.FramesPerRegion {
+		panic(fmt.Sprintf("phys: SetRegionZeroed on non-free region %d", r))
+	}
+	m.regions[r].Zeroed = true
+}
+
+// FreeFrames returns the machine-wide count of free frames.
+func (m *Memory) FreeFrames() uint64 { return m.frames - m.allocFrames }
+
+// AllocatedFrames returns the machine-wide count of allocated frames.
+func (m *Memory) AllocatedFrames() uint64 { return m.allocFrames }
+
+// UnmovableFrames returns the machine-wide count of unmovable frames.
+func (m *Memory) UnmovableFrames() uint64 { return m.unmovableFrames }
+
+// IsAllocated reports whether frame pfn is allocated.
+func (m *Memory) IsAllocated(pfn uint64) bool { return m.allocated.get(pfn) }
+
+// IsUnmovable reports whether frame pfn holds unmovable data.
+func (m *Memory) IsUnmovable(pfn uint64) bool { return m.unmovable.get(pfn) }
+
+// MarkAllocated records that frames [pfn, pfn+count) transitioned from free
+// to allocated, updating the per-region counters. The buddy allocator calls
+// this on every allocation. Frames must currently be free.
+func (m *Memory) MarkAllocated(pfn, count uint64, unmovable bool) {
+	m.checkRange(pfn, count)
+	for f := pfn; f < pfn+count; f++ {
+		if m.allocated.get(f) {
+			panic(fmt.Sprintf("phys: double allocation of frame %d", f))
+		}
+		m.allocated.set(f)
+		r := units.RegionOfFrame(f)
+		m.regions[r].Free--
+		m.regions[r].Zeroed = false
+		if unmovable {
+			m.unmovable.set(f)
+			m.regions[r].Unmovable++
+		}
+	}
+	m.allocFrames += count
+	if unmovable {
+		m.unmovableFrames += count
+	}
+}
+
+// MarkFree records that frames [pfn, pfn+count) transitioned from allocated
+// to free. Any owner registered at pfn is cleared; owners registered at
+// interior frames must have been cleared by the caller first.
+func (m *Memory) MarkFree(pfn, count uint64) {
+	m.checkRange(pfn, count)
+	for f := pfn; f < pfn+count; f++ {
+		if !m.allocated.get(f) {
+			panic(fmt.Sprintf("phys: double free of frame %d", f))
+		}
+		if m.rmap[f] != 0 {
+			m.clearOwnerAt(f)
+		}
+		m.allocated.clear(f)
+		r := units.RegionOfFrame(f)
+		m.regions[r].Free++
+		if m.unmovable.get(f) {
+			m.unmovable.clear(f)
+			m.regions[r].Unmovable--
+			m.unmovableFrames--
+		}
+	}
+	m.allocFrames -= count
+}
+
+// SetOwner registers the virtual mapping that covers the page whose head
+// frame is pfn. The frames must already be allocated.
+func (m *Memory) SetOwner(pfn uint64, o Owner) {
+	if o.Space == 0 {
+		panic("phys: owner space 0 is reserved")
+	}
+	if !units.IsAligned(units.FrameAddr(pfn), o.Size.Bytes()) {
+		panic(fmt.Sprintf("phys: owner head pfn %d not aligned to %v", pfn, o.Size))
+	}
+	if !m.allocated.get(pfn) {
+		panic(fmt.Sprintf("phys: SetOwner on free frame %d", pfn))
+	}
+	if m.rmap[pfn] != 0 {
+		panic(fmt.Sprintf("phys: frame %d already has an owner", pfn))
+	}
+	var idx uint32
+	if n := len(m.ownerFree); n > 0 {
+		idx = m.ownerFree[n-1]
+		m.ownerFree = m.ownerFree[:n-1]
+		m.owners[idx] = o
+	} else {
+		m.owners = append(m.owners, o)
+		idx = uint32(len(m.owners) - 1)
+	}
+	m.rmap[pfn] = idx
+}
+
+// ClearOwner removes the mapping registration at head frame pfn.
+func (m *Memory) ClearOwner(pfn uint64) {
+	if m.rmap[pfn] == 0 {
+		panic(fmt.Sprintf("phys: ClearOwner on unowned frame %d", pfn))
+	}
+	m.clearOwnerAt(pfn)
+}
+
+func (m *Memory) clearOwnerAt(pfn uint64) {
+	idx := m.rmap[pfn]
+	m.rmap[pfn] = 0
+	m.owners[idx] = Owner{}
+	m.ownerFree = append(m.ownerFree, idx)
+}
+
+// OwnerOf resolves the mapping covering frame pfn, if any. It returns the
+// owner, the head frame of the mapping, and whether a mapping exists. Only
+// the three x86 alignments need checking: a frame is covered either by a 4KB
+// mapping at itself, a 2MB mapping at its 2MB-aligned head, or a 1GB mapping
+// at its 1GB-aligned head.
+func (m *Memory) OwnerOf(pfn uint64) (Owner, uint64, bool) {
+	if idx := m.rmap[pfn]; idx != 0 {
+		return m.owners[idx], pfn, true
+	}
+	head2M := pfn &^ (units.Size2M.Frames() - 1)
+	if idx := m.rmap[head2M]; idx != 0 && m.owners[idx].Size == units.Size2M {
+		return m.owners[idx], head2M, true
+	}
+	head1G := pfn &^ (units.Size1G.Frames() - 1)
+	if idx := m.rmap[head1G]; idx != 0 && m.owners[idx].Size == units.Size1G {
+		return m.owners[idx], head1G, true
+	}
+	return Owner{}, 0, false
+}
+
+// AllocatedInRange counts allocated frames in [pfn, pfn+count).
+func (m *Memory) AllocatedInRange(pfn, count uint64) uint64 {
+	m.checkRange(pfn, count)
+	var n uint64
+	for f := pfn; f < pfn+count; f++ {
+		if m.allocated.get(f) {
+			n++
+		}
+	}
+	return n
+}
+
+func (m *Memory) checkRange(pfn, count uint64) {
+	if pfn+count > m.frames || pfn+count < pfn {
+		panic(fmt.Sprintf("phys: frame range [%d,+%d) out of bounds (%d frames)",
+			pfn, count, m.frames))
+	}
+}
+
+// bitset is a dense bitmap over frame numbers.
+type bitset []uint64
+
+func newBitset(n uint64) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) get(i uint64) bool { return b[i/64]&(1<<(i%64)) != 0 }
+func (b bitset) set(i uint64)      { b[i/64] |= 1 << (i % 64) }
+func (b bitset) clear(i uint64)    { b[i/64] &^= 1 << (i % 64) }
+func (b bitset) popcount() (n uint64) {
+	for _, w := range b {
+		n += uint64(bits.OnesCount64(w))
+	}
+	return n
+}

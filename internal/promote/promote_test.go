@@ -1,0 +1,271 @@
+package promote
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/kernel"
+	"repro/internal/units"
+	"repro/internal/vmm"
+	"repro/internal/zerofill"
+)
+
+func setup(t *testing.T, gb uint64) (*kernel.Kernel, *kernel.Task, *zerofill.Daemon) {
+	t.Helper()
+	k := kernel.New(gb*units.Page1G, units.TridentMaxOrder)
+	return k, k.NewTask("p"), zerofill.New(k)
+}
+
+// fault4K populates [va, va+n*4K) with 4KB pages via the base fault handler.
+func fault4K(t *testing.T, k *kernel.Kernel, task *kernel.Task, va uint64, n int) {
+	t.Helper()
+	p := fault.NewBase4K(k)
+	for i := 0; i < n; i++ {
+		if _, err := p.Handle(task, va+uint64(i)*units.Page4K); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPromote2M(t *testing.T) {
+	k, task, zero := setup(t, 1)
+	va, _ := task.AS.MMapAligned(units.Page2M, units.Page2M, vmm.KindAnon)
+	fault4K(t, k, task, va, 512)
+	d := New(k, zero) // stock khugepaged
+	d.ScanTask(task, 0)
+	if d.S.Promoted[units.Size2M] != 1 {
+		t.Fatalf("2MB promotions = %d", d.S.Promoted[units.Size2M])
+	}
+	m, ok := task.AS.PT.Lookup(va)
+	if !ok || m.Size != units.Size2M {
+		t.Fatalf("mapping after promotion = %+v", m)
+	}
+	if task.AS.PT.MappedPages(units.Size4K) != 0 {
+		t.Error("old 4KB mappings not torn down")
+	}
+	if d.S.BytesCopied != units.Page2M {
+		t.Errorf("bytes copied = %d", d.S.BytesCopied)
+	}
+	if d.S.BloatBytes != 0 {
+		t.Errorf("bloat = %d for fully populated range", d.S.BloatBytes)
+	}
+	// No frames leaked: exactly 512 frames mapped.
+	if k.Mem.AllocatedFrames() != 512 {
+		t.Errorf("allocated frames = %d", k.Mem.AllocatedFrames())
+	}
+}
+
+func TestPromoteSparse2MCreatesBloat(t *testing.T) {
+	k, task, zero := setup(t, 1)
+	va, _ := task.AS.MMapAligned(units.Page2M, units.Page2M, vmm.KindAnon)
+	fault4K(t, k, task, va, 10) // only 10 of 512 pages populated
+	d := New(k, zero)
+	d.ScanTask(task, 0)
+	if d.S.Promoted[units.Size2M] != 1 {
+		t.Fatalf("sparse range not collapsed (THP is aggressive): %+v", d.S)
+	}
+	wantBloat := uint64(units.Page2M - 10*units.Page4K)
+	if d.S.BloatBytes != wantBloat {
+		t.Errorf("bloat = %d, want %d", d.S.BloatBytes, wantBloat)
+	}
+}
+
+func TestStockDaemonNever1G(t *testing.T) {
+	k, task, zero := setup(t, 3)
+	va, _ := task.AS.MMapAligned(units.Page1G, units.Page1G, vmm.KindAnon)
+	fault4K(t, k, task, va, 1024)
+	d := New(k, zero)
+	d.ScanTask(task, 0)
+	if d.S.Promoted[units.Size1G] != 0 {
+		t.Error("stock khugepaged promoted to 1GB")
+	}
+	if d.S.Promoted[units.Size2M] == 0 {
+		t.Error("no 2MB promotions happened")
+	}
+}
+
+func TestTridentPromotes1G(t *testing.T) {
+	k, task, zero := setup(t, 3)
+	va, _ := task.AS.MMapAligned(units.Page1G, units.Page1G, vmm.KindAnon)
+	fault4K(t, k, task, va, 2048) // 8MB populated
+	d := NewTrident(k, zero)
+	d.ScanTask(task, 0)
+	if d.S.Promoted[units.Size1G] != 1 {
+		t.Fatalf("1GB promotions = %d", d.S.Promoted[units.Size1G])
+	}
+	m, ok := task.AS.PT.Lookup(va)
+	if !ok || m.Size != units.Size1G {
+		t.Fatalf("mapping = %+v", m)
+	}
+	if d.S.Attempts1G != 1 || d.S.Failed1G != 0 {
+		t.Errorf("attempts/failed = %d/%d", d.S.Attempts1G, d.S.Failed1G)
+	}
+	// Populated 8MB copied; bloat is the rest.
+	if d.S.BytesCopied != 2048*units.Page4K {
+		t.Errorf("copied = %d", d.S.BytesCopied)
+	}
+	if d.S.BloatBytes != units.Page1G-2048*units.Page4K {
+		t.Errorf("bloat = %d", d.S.BloatBytes)
+	}
+}
+
+func TestTridentPromotes2MTo1G(t *testing.T) {
+	k, task, zero := setup(t, 3)
+	va, _ := task.AS.MMapAligned(units.Page1G, units.Page1G, vmm.KindAnon)
+	// Populate with 2MB pages via the THP fault handler.
+	thp := fault.NewTHP(k)
+	for i := uint64(0); i < 512; i++ {
+		if _, err := thp.Handle(task, va+i*units.Page2M); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if task.AS.PT.MappedPages(units.Size2M) != 512 {
+		t.Fatalf("setup: %d 2MB pages", task.AS.PT.MappedPages(units.Size2M))
+	}
+	d := NewTrident(k, zero)
+	d.ScanTask(task, 0)
+	if d.S.Promoted[units.Size1G] != 1 {
+		t.Fatalf("1GB promotions = %d", d.S.Promoted[units.Size1G])
+	}
+	if d.S.BytesCopied != units.Page1G {
+		t.Errorf("copied = %d, want full 1GB", d.S.BytesCopied)
+	}
+	if k.Mem.AllocatedFrames() != units.Size1G.Frames() {
+		t.Errorf("allocated frames = %d", k.Mem.AllocatedFrames())
+	}
+}
+
+func TestPvExchangeReplacesCopy(t *testing.T) {
+	mk := func(move MoveMode) *Stats {
+		k := kernel.New(3*units.Page1G, units.TridentMaxOrder)
+		task := k.NewTask("p")
+		zero := zerofill.New(k)
+		va, _ := task.AS.MMapAligned(units.Page1G, units.Page1G, vmm.KindAnon)
+		thp := fault.NewTHP(k)
+		for i := uint64(0); i < 512; i++ {
+			if _, err := thp.Handle(task, va+i*units.Page2M); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d := NewTrident(k, zero)
+		d.Move = move
+		d.ScanTask(task, 0)
+		return &d.S
+	}
+	copyStats := mk(MoveCopy)
+	pvStats := mk(MovePvBatched)
+	unbatched := mk(MovePvUnbatched)
+
+	if pvStats.PagesExchanged != 512 || pvStats.BytesCopied != 0 {
+		t.Errorf("pv: exchanged=%d copied=%d", pvStats.PagesExchanged, pvStats.BytesCopied)
+	}
+	if copyStats.PagesExchanged != 0 || copyStats.BytesCopied != units.Page1G {
+		t.Errorf("copy: exchanged=%d copied=%d", copyStats.PagesExchanged, copyStats.BytesCopied)
+	}
+	// §6 latency ordering: batched (~500µs) << unbatched (~30ms) << copy (~600ms).
+	if !(pvStats.Nanoseconds < unbatched.Nanoseconds && unbatched.Nanoseconds < copyStats.Nanoseconds) {
+		t.Errorf("latency ordering violated: batched=%v unbatched=%v copy=%v",
+			pvStats.Nanoseconds, unbatched.Nanoseconds, copyStats.Nanoseconds)
+	}
+}
+
+func TestPromotionUsesCompactionWhenFragmented(t *testing.T) {
+	k, task, zero := setup(t, 4)
+	// Fragment: occupy a movable page-cache page in every 2MB block of
+	// regions 2 and 3 via a second task, so no free 1GB chunk exists but
+	// compaction can fix region 2 or 3.
+	cache := k.NewTask("pagecache")
+	cva, _ := cache.AS.MMap(2*units.Page1G, vmm.KindAnon)
+	for r := uint64(2); r < 4; r++ {
+		for b := uint64(0); b < 512; b++ {
+			pfn := r*units.FramesPerRegion + b*512
+			if err := k.Buddy.AllocSpecific(pfn, 0, false); err != nil {
+				t.Fatal(err)
+			}
+			if err := k.MapSpecific(cache, cva, pfn, units.Size4K); err != nil {
+				t.Fatal(err)
+			}
+			cva += units.Page4K
+		}
+	}
+	// The measured task faults 4KB pages over a 1GB-mappable VMA; those
+	// consume region 0 (and some of 1), so no free 1GB chunk remains...
+	va, _ := task.AS.MMapAligned(2*units.Page1G, units.Page1G, vmm.KindAnon)
+	fault4K(t, k, task, va, 300000) // ~1.14GB of 4KB pages
+	if k.Buddy.FreeChunks(units.Order1G) != 0 {
+		t.Skip("setup did not eliminate free 1GB chunks")
+	}
+	d := NewTrident(k, zero)
+	d.ScanTask(task, 0)
+	if d.S.Promoted[units.Size1G] != 1 {
+		t.Fatalf("promotion failed under fragmentation: %+v", d.S)
+	}
+	if d.Smart.Attempts == 0 {
+		t.Error("smart compaction was not invoked")
+	}
+}
+
+func TestScanBudgetStopsEarly(t *testing.T) {
+	k, task, zero := setup(t, 2)
+	va, _ := task.AS.MMapAligned(units.Page1G, units.Page1G, vmm.KindAnon)
+	fault4K(t, k, task, va, 4096)
+	d := New(k, zero)
+	// A tiny budget must stop the scan before covering all 512 spans.
+	d.ScanTask(task, 10_000) // 10µs
+	full := New(k, zero)
+	if d.S.Promoted[units.Size2M] >= full.S.Promoted[units.Size2M]+8 &&
+		d.S.Promoted[units.Size2M] > 8 {
+		t.Errorf("budgeted scan promoted too much: %d", d.S.Promoted[units.Size2M])
+	}
+	// Resume continues; repeated scans eventually cover everything.
+	for i := 0; i < 100; i++ {
+		d.ScanTask(task, 1e6)
+	}
+	if got := task.AS.PT.MappedPages(units.Size2M); got != 8 {
+		t.Errorf("after repeated budgeted scans: %d 2MB pages, want 8", got)
+	}
+}
+
+func TestOnPromoteCallback(t *testing.T) {
+	k, task, zero := setup(t, 1)
+	va, _ := task.AS.MMapAligned(units.Page2M, units.Page2M, vmm.KindAnon)
+	fault4K(t, k, task, va, 100)
+	d := New(k, zero)
+	var gotVA, gotPop uint64
+	var gotSize units.PageSize
+	d.OnPromote = func(tt *kernel.Task, pva uint64, size units.PageSize, populated uint64) {
+		gotVA, gotSize, gotPop = pva, size, populated
+	}
+	d.ScanTask(task, 0)
+	if gotVA != va || gotSize != units.Size2M || gotPop != 100*units.Page4K {
+		t.Errorf("callback = %#x %v %d", gotVA, gotSize, gotPop)
+	}
+}
+
+func TestPromotionSkipsUnpopulatedRanges(t *testing.T) {
+	k, task, zero := setup(t, 2)
+	if _, err := task.AS.MMapAligned(units.Page1G, units.Page1G, vmm.KindAnon); err != nil {
+		t.Fatal(err)
+	}
+	d := NewTrident(k, zero)
+	d.ScanTask(task, 0)
+	if d.S.Promoted[units.Size1G] != 0 || d.S.Promoted[units.Size2M] != 0 {
+		t.Error("promoted entirely unpopulated range")
+	}
+	if d.S.Attempts1G != 0 {
+		t.Error("counted attempt for unpopulated range")
+	}
+}
+
+func TestPromotionIdempotent(t *testing.T) {
+	k, task, zero := setup(t, 3)
+	va, _ := task.AS.MMapAligned(units.Page1G, units.Page1G, vmm.KindAnon)
+	fault4K(t, k, task, va, 1000)
+	d := NewTrident(k, zero)
+	d.ScanTask(task, 0)
+	promoted := d.S.Promoted[units.Size1G]
+	d.ScanTask(task, 0)
+	if d.S.Promoted[units.Size1G] != promoted {
+		t.Error("second scan re-promoted an already-1GB range")
+	}
+}

@@ -1,0 +1,116 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// refLRU is a trivially-correct reference model of one set-associative TLB:
+// per set, a slice ordered MRU-first.
+type refLRU struct {
+	sets int
+	ways int
+	data [][]uint64
+}
+
+func newRefLRU(sets, ways int) *refLRU {
+	return &refLRU{sets: sets, ways: ways, data: make([][]uint64, sets)}
+}
+
+func (r *refLRU) lookup(tag uint64) bool {
+	s := int(tag % uint64(r.sets))
+	for i, v := range r.data[s] {
+		if v == tag {
+			r.data[s] = append([]uint64{tag}, append(r.data[s][:i], r.data[s][i+1:]...)...)
+			return true
+		}
+	}
+	return false
+}
+
+func (r *refLRU) insert(tag uint64) {
+	if r.lookup(tag) {
+		return
+	}
+	s := int(tag % uint64(r.sets))
+	r.data[s] = append([]uint64{tag}, r.data[s]...)
+	if len(r.data[s]) > r.ways {
+		r.data[s] = r.data[s][:r.ways]
+	}
+}
+
+func (r *refLRU) invalidate(tag uint64) {
+	s := int(tag % uint64(r.sets))
+	for i, v := range r.data[s] {
+		if v == tag {
+			r.data[s] = append(r.data[s][:i], r.data[s][i+1:]...)
+			return
+		}
+	}
+}
+
+// Property: the TLB behaves exactly like the reference LRU model under any
+// random operation sequence.
+func TestTLBMatchesReferenceModel(t *testing.T) {
+	f := func(seed uint64, setsRaw, waysRaw uint8) bool {
+		sets := 1 << (setsRaw % 4) // 1..8
+		ways := int(waysRaw%4) + 1 // 1..4
+		tlb := NewTLB("prop", sets, ways)
+		ref := newRefLRU(sets, ways)
+		rng := xrand.New(seed)
+		for op := 0; op < 500; op++ {
+			tag := rng.Uint64n(64)
+			switch rng.Intn(4) {
+			case 0:
+				if tlb.Lookup(tag) != ref.lookup(tag) {
+					return false
+				}
+			case 1:
+				tlb.Insert(tag)
+				ref.insert(tag)
+			case 2:
+				tlb.Invalidate(tag)
+				ref.invalidate(tag)
+			case 3:
+				if tlb.Probe(tag) != (func() bool {
+					s := int(tag % uint64(sets))
+					for _, v := range ref.data[s] {
+						if v == tag {
+							return true
+						}
+					}
+					return false
+				})() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hits + misses always equals lookups, and a hit implies a
+// subsequent Probe also hits (until eviction or invalidation).
+func TestTLBStatsConsistency(t *testing.T) {
+	tl := NewTLB("t", 4, 2)
+	rng := xrand.New(7)
+	lookups := uint64(0)
+	for i := 0; i < 10000; i++ {
+		tag := rng.Uint64n(32)
+		if rng.Bool(0.5) {
+			tl.Lookup(tag)
+			lookups++
+		} else {
+			tl.Insert(tag)
+		}
+	}
+	h, m := tl.Stats()
+	if h+m != lookups {
+		t.Errorf("hits %d + misses %d != lookups %d", h, m, lookups)
+	}
+}

@@ -1,0 +1,352 @@
+// Package tlb simulates the translation caches of an x86 core: per-page-size
+// L1 TLBs, a unified L2 TLB, and the page-walk (paging-structure) caches
+// that shorten radix walks. The default geometry is the Intel Skylake server
+// configuration of the paper's Table 1:
+//
+//	L1d  4KB: 64 entries, 4-way        L2 4KB/2MB: 1536 entries, 12-way
+//	L1d  2MB: 32 entries, 4-way        L2 1GB:     16 entries, 4-way
+//	L1d  1GB:  4 entries, fully-assoc.
+//
+// These structures are what the paper calls the "micro-architectural
+// resources devoted to 1GB pages" that go underutilized without OS support:
+// the 4+16 dedicated 1GB entries exist on every Skylake core whether or not
+// the OS ever allocates a 1GB page.
+package tlb
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// TLB is one set-associative translation buffer with true-LRU replacement.
+type TLB struct {
+	name string
+	sets int
+	ways int
+	// lines[set] is ordered most-recently-used first.
+	lines  [][]uint64
+	valid  [][]bool
+	hits   uint64
+	misses uint64
+}
+
+// NewTLB creates a TLB with the given geometry. entries = sets*ways.
+func NewTLB(name string, sets, ways int) *TLB {
+	if sets <= 0 || ways <= 0 {
+		panic(fmt.Sprintf("tlb: invalid geometry %dx%d", sets, ways))
+	}
+	t := &TLB{name: name, sets: sets, ways: ways}
+	t.lines = make([][]uint64, sets)
+	t.valid = make([][]bool, sets)
+	for i := range t.lines {
+		t.lines[i] = make([]uint64, ways)
+		t.valid[i] = make([]bool, ways)
+	}
+	return t
+}
+
+// Entries returns the total capacity.
+func (t *TLB) Entries() int { return t.sets * t.ways }
+
+func (t *TLB) set(tag uint64) int { return int(tag % uint64(t.sets)) }
+
+// Lookup probes for tag, promoting it to MRU on a hit and recording
+// hit/miss statistics.
+func (t *TLB) Lookup(tag uint64) bool {
+	s := t.set(tag)
+	for w := 0; w < t.ways; w++ {
+		if t.valid[s][w] && t.lines[s][w] == tag {
+			t.touch(s, w)
+			t.hits++
+			return true
+		}
+	}
+	t.misses++
+	return false
+}
+
+// Probe checks for tag without updating LRU state or statistics.
+func (t *TLB) Probe(tag uint64) bool {
+	s := t.set(tag)
+	for w := 0; w < t.ways; w++ {
+		if t.valid[s][w] && t.lines[s][w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert installs tag as MRU of its set, evicting the LRU way if needed.
+func (t *TLB) Insert(tag uint64) {
+	s := t.set(tag)
+	// Already present? Just promote.
+	for w := 0; w < t.ways; w++ {
+		if t.valid[s][w] && t.lines[s][w] == tag {
+			t.touch(s, w)
+			return
+		}
+	}
+	// Fill an invalidated way if one exists; otherwise the LRU way (last)
+	// falls out. Either way the new entry becomes MRU.
+	slot := t.ways - 1
+	for w := 0; w < t.ways; w++ {
+		if !t.valid[s][w] {
+			slot = w
+			break
+		}
+	}
+	copy(t.lines[s][1:slot+1], t.lines[s][:slot])
+	copy(t.valid[s][1:slot+1], t.valid[s][:slot])
+	t.lines[s][0] = tag
+	t.valid[s][0] = true
+}
+
+// Invalidate removes tag if present.
+func (t *TLB) Invalidate(tag uint64) {
+	s := t.set(tag)
+	for w := 0; w < t.ways; w++ {
+		if t.valid[s][w] && t.lines[s][w] == tag {
+			t.valid[s][w] = false
+			return
+		}
+	}
+}
+
+// Flush invalidates every entry.
+func (t *TLB) Flush() {
+	for s := range t.valid {
+		for w := range t.valid[s] {
+			t.valid[s][w] = false
+		}
+	}
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (t *TLB) Stats() (hits, misses uint64) { return t.hits, t.misses }
+
+// ResetStats zeroes the hit/miss counters without touching contents.
+func (t *TLB) ResetStats() { t.hits, t.misses = 0, 0 }
+
+func (t *TLB) touch(s, w int) {
+	tag := t.lines[s][w]
+	copy(t.lines[s][1:w+1], t.lines[s][:w])
+	copy(t.valid[s][1:w+1], t.valid[s][:w])
+	t.lines[s][0] = tag
+	t.valid[s][0] = true
+}
+
+// Geometry describes one TLB's shape.
+type Geometry struct {
+	Sets int
+	Ways int
+}
+
+// Config is the full translation-cache configuration of one core.
+type Config struct {
+	L1 [units.NumPageSizes]Geometry
+	// L2Shared is the unified L2 used by 4KB and 2MB translations.
+	L2Shared Geometry
+	// L2Huge is the separate L2 structure for 1GB translations.
+	L2Huge Geometry
+	// PWC are the paging-structure caches: [0] caches PDEs (pointer to PT),
+	// [1] caches PDPTEs (pointer to PD), [2] caches PML4Es (pointer to PDPT).
+	PWC [3]Geometry
+}
+
+// Skylake returns the configuration of the paper's experimental platform
+// (Table 1: Intel Xeon Gold 6140). PWC sizes follow common estimates for
+// Intel's (undocumented) paging-structure caches.
+func Skylake() Config {
+	return Config{
+		L1: [units.NumPageSizes]Geometry{
+			units.Size4K: {Sets: 16, Ways: 4}, // 64 entries
+			units.Size2M: {Sets: 8, Ways: 4},  // 32 entries
+			units.Size1G: {Sets: 1, Ways: 4},  // 4 entries, fully associative
+		},
+		L2Shared: Geometry{Sets: 128, Ways: 12}, // 1536 entries
+		L2Huge:   Geometry{Sets: 4, Ways: 4},    // 16 entries
+		PWC: [3]Geometry{
+			{Sets: 1, Ways: 32}, // PDE cache
+			{Sets: 1, Ways: 4},  // PDPTE cache
+			{Sets: 1, Ways: 2},  // PML4E cache
+		},
+	}
+}
+
+// Level identifies where a translation was satisfied.
+type Level int
+
+// Translation service levels.
+const (
+	HitL1 Level = iota
+	HitL2
+	Miss // page walk required
+)
+
+// Hierarchy is the per-core, two-level TLB system.
+type Hierarchy struct {
+	l1 [units.NumPageSizes]*TLB
+	// l2 maps each page size to its L2 structure; 4KB and 2MB share one.
+	l2 [units.NumPageSizes]*TLB
+
+	accesses [units.NumPageSizes]uint64
+	l1Hits   [units.NumPageSizes]uint64
+	l2Hits   [units.NumPageSizes]uint64
+	walks    [units.NumPageSizes]uint64
+}
+
+// NewHierarchy builds a TLB hierarchy from cfg.
+func NewHierarchy(cfg Config) *Hierarchy {
+	h := &Hierarchy{}
+	for s := units.PageSize(0); s < units.NumPageSizes; s++ {
+		g := cfg.L1[s]
+		h.l1[s] = NewTLB("L1-"+s.String(), g.Sets, g.Ways)
+	}
+	shared := NewTLB("L2-shared", cfg.L2Shared.Sets, cfg.L2Shared.Ways)
+	h.l2[units.Size4K] = shared
+	h.l2[units.Size2M] = shared
+	h.l2[units.Size1G] = NewTLB("L2-1GB", cfg.L2Huge.Sets, cfg.L2Huge.Ways)
+	return h
+}
+
+// tag composes the lookup tag for a page: the VPN at the page's own
+// granularity, salted with the size in the high bits so 4KB and 2MB entries
+// sharing the L2 cannot alias while set indexing still uses the VPN's low
+// bits (set counts are powers of two).
+func tag(va uint64, size units.PageSize) uint64 {
+	return (va / size.Bytes()) | uint64(size+1)<<60
+}
+
+// Access translates one reference to a page of known size, updating TLB
+// contents and statistics. It returns where the translation was found;
+// Miss means a page walk is required (the MMU performs it and the entry
+// has already been installed for subsequent accesses).
+func (h *Hierarchy) Access(va uint64, size units.PageSize) Level {
+	h.accesses[size]++
+	t := tag(va, size)
+	if h.l1[size].Lookup(t) {
+		h.l1Hits[size]++
+		return HitL1
+	}
+	if h.l2[size].Lookup(t) {
+		h.l2Hits[size]++
+		h.l1[size].Insert(t)
+		return HitL2
+	}
+	h.walks[size]++
+	h.l2[size].Insert(t)
+	h.l1[size].Insert(t)
+	return Miss
+}
+
+// InvalidatePage removes a single page's entries from all levels (one page
+// of a TLB shootdown).
+func (h *Hierarchy) InvalidatePage(va uint64, size units.PageSize) {
+	t := tag(va, size)
+	h.l1[size].Invalidate(t)
+	h.l2[size].Invalidate(t)
+}
+
+// FlushAll empties every structure (full shootdown / context switch).
+func (h *Hierarchy) FlushAll() {
+	for s := units.PageSize(0); s < units.NumPageSizes; s++ {
+		h.l1[s].Flush()
+	}
+	h.l2[units.Size4K].Flush()
+	h.l2[units.Size1G].Flush()
+}
+
+// Counts reports, for the given page size: total accesses, L1 hits, L2 hits
+// and page walks.
+func (h *Hierarchy) Counts(size units.PageSize) (accesses, l1, l2, walks uint64) {
+	return h.accesses[size], h.l1Hits[size], h.l2Hits[size], h.walks[size]
+}
+
+// TotalWalks returns page walks across all page sizes.
+func (h *Hierarchy) TotalWalks() uint64 {
+	var n uint64
+	for s := units.PageSize(0); s < units.NumPageSizes; s++ {
+		n += h.walks[s]
+	}
+	return n
+}
+
+// TotalAccesses returns translations attempted across all page sizes.
+func (h *Hierarchy) TotalAccesses() uint64 {
+	var n uint64
+	for s := units.PageSize(0); s < units.NumPageSizes; s++ {
+		n += h.accesses[s]
+	}
+	return n
+}
+
+// ResetStats zeroes all counters, keeping contents warm.
+func (h *Hierarchy) ResetStats() {
+	for s := units.PageSize(0); s < units.NumPageSizes; s++ {
+		h.accesses[s], h.l1Hits[s], h.l2Hits[s], h.walks[s] = 0, 0, 0, 0
+		h.l1[s].ResetStats()
+	}
+	h.l2[units.Size4K].ResetStats()
+	h.l2[units.Size1G].ResetStats()
+}
+
+// PWC models the paging-structure caches that let the hardware walker skip
+// upper page-table levels. Cache 0 holds PDE entries (tags at 2MB
+// granularity, useful only to 4KB walks), cache 1 holds PDPTEs (1GB
+// granularity), cache 2 holds PML4Es (512GB granularity).
+type PWC struct {
+	caches [3]*TLB
+}
+
+// NewPWC builds the paging-structure caches from cfg.
+func NewPWC(cfg Config) *PWC {
+	p := &PWC{}
+	names := [3]string{"PWC-PDE", "PWC-PDPTE", "PWC-PML4E"}
+	for i, g := range cfg.PWC {
+		p.caches[i] = NewTLB(names[i], g.Sets, g.Ways)
+	}
+	return p
+}
+
+var pwcShift = [3]uint{21, 30, 39}
+
+// WalkAccesses returns the number of page-table memory accesses a hardware
+// walk for va (mapped at the given size) performs given the current
+// paging-structure cache contents, and updates those caches with the
+// entries the walk traverses.
+//
+// Without any PWC hit this is pagetable.WalkAccesses: 4/3/2 for 4KB/2MB/1GB.
+// A hit in a deeper cache skips all levels above it.
+func (p *PWC) WalkAccesses(va uint64, size units.PageSize) int {
+	// deepest is the index of the deepest PWC applicable to this walk:
+	// a walk that ends at the PDE (2MB page) cannot use the PDE cache, etc.
+	var deepest int
+	switch size {
+	case units.Size4K:
+		deepest = 0
+	case units.Size2M:
+		deepest = 1
+	default:
+		deepest = 2
+	}
+	accesses := 4 - deepest // full walk if nothing hits: 4/3/2
+	for c := deepest; c < 3; c++ {
+		if p.caches[c].Lookup(va >> pwcShift[c]) {
+			accesses = 1 + (c - deepest)
+			break
+		}
+	}
+	// The walk loads (and thus caches) every traversed entry.
+	for c := deepest; c < 3; c++ {
+		p.caches[c].Insert(va >> pwcShift[c])
+	}
+	return accesses
+}
+
+// Flush empties the paging-structure caches.
+func (p *PWC) Flush() {
+	for _, c := range p.caches {
+		c.Flush()
+	}
+}

@@ -1,0 +1,553 @@
+// Package workload models the memory behaviour of the paper's 12 Table-2
+// applications. What the paper's results depend on — and therefore what
+// these models encode — is:
+//
+//   - the allocation pattern: applications that pre-allocate large aligned
+//     arenas (XSBench, GUPS, the GAPBS kernels) are 1GB-mappable at fault
+//     time, while incremental allocators (Redis, Memcached, Btree, Canneal)
+//     only become 1GB-mappable later, and churning allocators (Graph500,
+//     SVM) leave persistent holes that keep parts of the address space
+//     2MB-mappable but never 1GB-mappable (Figure 3);
+//
+//   - the access pattern: the hot-set size relative to TLB reach decides
+//     which page size suffices (the shaded eight of Figure 1 have hot sets
+//     beyond the 2MB-TLB reach), fringe accesses near the holes produce the
+//     Figure-4 miss spikes, and stack accesses matter for Redis/GUPS
+//     (§4.1's libHugetlbfs limitation);
+//
+//   - the performance model: intrinsic cycles per access and the fraction
+//     of walk latency the out-of-order core cannot hide (§4.1).
+//
+// Footprints are scaled ≈÷10 from Table 2 (Btree ÷2.5, see its comment) so
+// the default 32GB simulated machine preserves the footprint-to-TLB-reach
+// regime of the paper's 384GB testbed; the scale knob shrinks them further
+// for tests.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fault"
+	"repro/internal/kernel"
+	"repro/internal/perfmodel"
+	"repro/internal/units"
+	"repro/internal/vmm"
+	"repro/internal/xrand"
+)
+
+// AllocPlan describes how an application builds its address space.
+type AllocPlan struct {
+	// PreallocFrac of the footprint is mmap'd up front in PreallocChunks
+	// large 1GB-aligned chunks (arrays allocated at startup).
+	PreallocFrac   float64
+	PreallocChunks int
+	// The rest arrives incrementally in PieceBytes mmaps, each touched
+	// immediately (allocation interleaved with use).
+	PieceBytes uint64
+	// Gaps > 0 scatters that many small unmappable gaps evenly across the
+	// incremental pieces (foreign mappings landing between heap chunks),
+	// breaking 1GB-mappability at those points. The count is absolute —
+	// foreign mappings do not multiply when footprints scale down.
+	Gaps int
+	// ChurnOps random free+realloc cycles run after allocation, punching
+	// the persistent holes of Figure 3 (Graph500-style).
+	ChurnOps int
+	// StackBytes is the stack size (0 = default 8MB).
+	StackBytes uint64
+}
+
+// AccessSpec describes the reference stream.
+type AccessSpec struct {
+	// HotBytes is the window (prefix of the heap, in VA order) receiving
+	// the bulk of accesses. 0 means the whole heap is hot.
+	HotBytes uint64
+	// StackFrac of accesses hit the stack.
+	StackFrac float64
+	// FringeFrac of accesses hit 2MB-mappable-but-not-1GB-mappable fringe
+	// bytes (redistributed to the hot window if no fringe exists). This is
+	// the Figure-4 spike.
+	FringeFrac float64
+	// ColdFrac of accesses are uniform over the entire heap.
+	ColdFrac float64
+	// WriteFrac of accesses are stores.
+	WriteFrac float64
+}
+
+// Spec is one application model.
+type Spec struct {
+	Name string
+	// Threads is Table 2's thread count (documentation; the simulator
+	// samples one interleaved reference stream).
+	Threads int
+	// PaperFootprint is Table 2's memory footprint.
+	PaperFootprint uint64
+	// Footprint is the simulated footprint at scale 1.0.
+	Footprint uint64
+	Alloc     AllocPlan
+	Access    AccessSpec
+	Model     perfmodel.WorkloadModel
+	// Throughput marks applications whose performance the paper reports as
+	// throughput (Redis, Memcached) rather than inverse runtime.
+	Throughput bool
+	// RequestBaseNs is the intrinsic (queueing/network/processing) p99
+	// request latency for throughput workloads, calibrated so the 4KB
+	// baseline lands at Table 5's values; translation exposure and fault
+	// stalls add to it.
+	RequestBaseNs float64
+	// RequestInsertBytes is how much new memory each request allocates
+	// (key-value stores keep inserting during measurement, so fault stalls
+	// land in the latency tail).
+	RequestInsertBytes uint64
+	// Sensitive1G marks the shaded eight applications that benefit from
+	// 1GB pages (Figure 1).
+	Sensitive1G bool
+}
+
+// All returns the 12 Table-2 workload models, in the paper's figure order:
+// the eight 1GB-sensitive applications first.
+func All() []*Spec {
+	return []*Spec{
+		// --- the shaded eight (1GB-sensitive) ---
+		{
+			Name: "XSBench", Threads: 36,
+			PaperFootprint: 117 * units.GiB,
+			Footprint:      12 * units.GiB,
+			// Monte Carlo particle transport: nuclide grids allocated up
+			// front, uniform random lookups across them.
+			Alloc:       AllocPlan{PreallocFrac: 1, PreallocChunks: 3},
+			Access:      AccessSpec{HotBytes: 8 * units.GiB, ColdFrac: 0.05, WriteFrac: 0.05},
+			Model:       perfmodel.WorkloadModel{BaseCyclesPerAccess: 140, Overlap: 0.13},
+			Sensitive1G: true,
+		},
+		{
+			Name: "SVM", Threads: 36,
+			PaperFootprint: 679 * units.GiB / 10,
+			Footprint:      7 * units.GiB,
+			// Dataset arrays pre-allocated; model state grows incrementally.
+			Alloc: AllocPlan{
+				PreallocFrac: 0.6, PreallocChunks: 1,
+				PieceBytes: 8 * units.MiB, Gaps: 2,
+			},
+			Access:      AccessSpec{HotBytes: 5 * units.GiB, FringeFrac: 0.10, ColdFrac: 0.05, WriteFrac: 0.3},
+			Model:       perfmodel.WorkloadModel{BaseCyclesPerAccess: 100, Overlap: 0.33},
+			Sensitive1G: true,
+		},
+		{
+			Name: "Graph500", Threads: 36,
+			PaperFootprint: 635 * units.GiB / 10,
+			Footprint:      13 * units.GiB / 2,
+			// Edge lists pre-allocated, then build/search phases allocate,
+			// free and re-allocate — the virtual fragmentation of Figure 3a.
+			Alloc: AllocPlan{
+				PreallocFrac: 0.75, PreallocChunks: 2,
+				PieceBytes: 32 * units.MiB, Gaps: 3, ChurnOps: 120,
+			},
+			Access:      AccessSpec{HotBytes: 5 * units.GiB, FringeFrac: 0.22, ColdFrac: 0.05, WriteFrac: 0.3},
+			Model:       perfmodel.WorkloadModel{BaseCyclesPerAccess: 110, Overlap: 0.16},
+			Sensitive1G: true,
+		},
+		{
+			Name: "GUPS", Threads: 1,
+			PaperFootprint: 32 * units.GiB,
+			Footprint:      8 * units.GiB,
+			// One giant table, uniform random updates; TLB-sensitive stack.
+			Alloc:       AllocPlan{PreallocFrac: 1, PreallocChunks: 1},
+			Access:      AccessSpec{StackFrac: 0.05, WriteFrac: 0.8},
+			Model:       perfmodel.WorkloadModel{BaseCyclesPerAccess: 68, Overlap: 0.85},
+			Sensitive1G: true,
+		},
+		{
+			Name: "Btree", Threads: 1,
+			PaperFootprint: 105 * units.GiB / 10,
+			// Scaled ÷2.33 rather than ÷10: at ÷10 the tree would fit
+			// entirely within the 2MB-TLB reach and lose the paper's
+			// 1GB-sensitivity regime.
+			Footprint: 9 * units.GiB / 2,
+			// The tree grows node by node: incremental, never 1GB-mappable
+			// at fault time (Table 3: zero 1GB pages from the fault path).
+			Alloc:       AllocPlan{PieceBytes: 4 * units.MiB, Gaps: 1},
+			Access:      AccessSpec{HotBytes: 4 * units.GiB, ColdFrac: 0.05, WriteFrac: 0.1},
+			Model:       perfmodel.WorkloadModel{BaseCyclesPerAccess: 80, Overlap: 0.85},
+			Sensitive1G: true,
+		},
+		{
+			Name: "Redis", Threads: 1,
+			PaperFootprint: 436 * units.GiB / 10,
+			Footprint:      9 * units.GiB / 2,
+			// Key-value pairs inserted over time: small allocator chunks,
+			// plus a TLB-sensitive stack that libHugetlbfs cannot map (§4.1).
+			Alloc:              AllocPlan{PieceBytes: 1 * units.MiB, Gaps: 1},
+			Access:             AccessSpec{HotBytes: 4 * units.GiB, StackFrac: 0.08, ColdFrac: 0.05, WriteFrac: 0.3},
+			Model:              perfmodel.WorkloadModel{BaseCyclesPerAccess: 90, Overlap: 0.25},
+			Throughput:         true,
+			RequestBaseNs:      46.4e6, // Table 5: 4KB p99 ≈ 47.3 ms
+			RequestInsertBytes: 256 * units.KiB,
+			Sensitive1G:        true,
+		},
+		{
+			Name: "Memcached", Threads: 36,
+			PaperFootprint: 79 * units.GiB,
+			Footprint:      8 * units.GiB,
+			// Slab allocator: sizable slab mmaps, still incremental.
+			Alloc:              AllocPlan{PieceBytes: 64 * units.MiB, Gaps: 2},
+			Access:             AccessSpec{HotBytes: 6 * units.GiB, ColdFrac: 0.05, WriteFrac: 0.3},
+			Model:              perfmodel.WorkloadModel{BaseCyclesPerAccess: 100, Overlap: 0.14},
+			Throughput:         true,
+			RequestBaseNs:      1.46e6, // Table 5: 4KB p99 ≈ 1.53 ms
+			RequestInsertBytes: 128 * units.KiB,
+			Sensitive1G:        true,
+		},
+		{
+			Name: "Canneal", Threads: 1,
+			PaperFootprint: 32 * units.GiB,
+			Footprint:      7 * units.GiB / 2,
+			// Netlist elements allocated individually (glibc arenas), then
+			// pointer-chased randomly: almost no locality to hide walks.
+			Alloc: AllocPlan{
+				PreallocFrac: 0.25, PreallocChunks: 1,
+				PieceBytes: 1 * units.MiB,
+			},
+			Access:      AccessSpec{HotBytes: 7 * units.GiB / 2 * 97 / 100, ColdFrac: 0.03, WriteFrac: 0.2},
+			Model:       perfmodel.WorkloadModel{BaseCyclesPerAccess: 32, Overlap: 0.90},
+			Sensitive1G: true,
+		},
+		// --- the four that gain little beyond 2MB ---
+		{
+			Name: "CC", Threads: 36,
+			PaperFootprint: 72 * units.GiB,
+			Footprint:      7 * units.GiB,
+			// GAPBS: big arrays, but the iteration working set stays within
+			// the 2MB-TLB reach.
+			Alloc:  AllocPlan{PreallocFrac: 1, PreallocChunks: 4},
+			Access: AccessSpec{HotBytes: 22 * units.GiB / 10, ColdFrac: 0.05, WriteFrac: 0.3},
+			Model:  perfmodel.WorkloadModel{BaseCyclesPerAccess: 100, Overlap: 0.50},
+		},
+		{
+			Name: "BC", Threads: 36,
+			PaperFootprint: 72 * units.GiB,
+			Footprint:      7 * units.GiB,
+			// Hot set at the edge of the 2MB reach: no native 1GB benefit,
+			// slight sensitivity under virtualization (§4.2).
+			Alloc:  AllocPlan{PreallocFrac: 1, PreallocChunks: 4},
+			Access: AccessSpec{HotBytes: 3 * units.GiB, ColdFrac: 0.05, WriteFrac: 0.3},
+			Model:  perfmodel.WorkloadModel{BaseCyclesPerAccess: 100, Overlap: 0.45},
+		},
+		{
+			Name: "PR", Threads: 36,
+			PaperFootprint: 72 * units.GiB,
+			Footprint:      7 * units.GiB,
+			Alloc:          AllocPlan{PreallocFrac: 1, PreallocChunks: 4},
+			Access:         AccessSpec{HotBytes: 22 * units.GiB / 10, ColdFrac: 0.05, WriteFrac: 0.3},
+			Model:          perfmodel.WorkloadModel{BaseCyclesPerAccess: 110, Overlap: 0.50},
+		},
+		{
+			Name: "CG.D", Threads: 36,
+			PaperFootprint: 50 * units.GiB,
+			Footprint:      5 * units.GiB,
+			// NPB conjugate gradient: strided sweeps with high locality.
+			Alloc:  AllocPlan{PreallocFrac: 1, PreallocChunks: 3},
+			Access: AccessSpec{HotBytes: 2 * units.GiB, ColdFrac: 0.05, WriteFrac: 0.3},
+			Model:  perfmodel.WorkloadModel{BaseCyclesPerAccess: 120, Overlap: 0.40},
+		},
+	}
+}
+
+// ByName returns the spec with the given name.
+func ByName(name string) (*Spec, bool) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// Sensitive returns the shaded eight 1GB-sensitive workloads.
+func Sensitive() []*Spec {
+	var out []*Spec
+	for _, s := range All() {
+		if s.Sensitive1G {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Instance is a workload instantiated in an address space: its memory is
+// allocated and faulted in, and it can generate its reference stream.
+type Instance struct {
+	Spec *Spec
+	K    *kernel.Kernel
+	Task *kernel.Task
+
+	StackVA    uint64
+	StackBytes uint64
+
+	rng *xrand.Rand
+
+	// Linearized heap segments (ascending VA) with cumulative sizes for
+	// O(log n) position→VA mapping.
+	heap     segments
+	fringe   segments
+	hotBytes uint64
+	// FaultLatencies collects per-fault synchronous latencies (ns) during
+	// population, for the tail-latency analysis of Table 5.
+	FaultLatencies []float64
+}
+
+type segments struct {
+	starts []uint64 // VA of each segment
+	cum    []uint64 // cumulative bytes before each segment
+	total  uint64
+}
+
+func (s *segments) add(start, size uint64) {
+	s.starts = append(s.starts, start)
+	s.cum = append(s.cum, s.total)
+	s.total += size
+}
+
+// at maps a byte position in [0, total) to a VA.
+func (s *segments) at(pos uint64) uint64 {
+	i := sort.Search(len(s.cum), func(i int) bool { return s.cum[i] > pos }) - 1
+	return s.starts[i] + (pos - s.cum[i])
+}
+
+// Instantiate allocates the workload's memory in task's address space,
+// faulting every page through policy exactly as first-touch would, and
+// returns the ready-to-run instance. scale multiplies the footprint and hot
+// set (1.0 = the package defaults; tests use smaller values).
+func (s *Spec) Instantiate(k *kernel.Kernel, task *kernel.Task, policy fault.Policy, seed uint64, scale float64) (*Instance, error) {
+	return s.InstantiateObserved(k, task, policy, seed, scale, nil)
+}
+
+// InstantiateObserved is Instantiate with a progress callback invoked as
+// the allocation unfolds ("prealloc", "piece", "churn") — the kernel-module
+// sampling the paper uses for Figure 3's execution timeline.
+func (s *Spec) InstantiateObserved(k *kernel.Kernel, task *kernel.Task, policy fault.Policy, seed uint64, scale float64, observe func(stage string)) (*Instance, error) {
+	if scale <= 0 {
+		return nil, fmt.Errorf("workload: scale %v must be positive", scale)
+	}
+	inst := &Instance{Spec: s, K: k, Task: task, rng: xrand.New(seed)}
+
+	footprint := scaleBytes(s.Footprint, scale)
+	stack := s.Alloc.StackBytes
+	if stack == 0 {
+		stack = 8 * units.MiB
+	}
+	sva, err := task.AS.MMapStack(stack)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: stack: %w", s.Name, err)
+	}
+	inst.StackVA, inst.StackBytes = sva, stack
+	if err := inst.touch(policy, sva, stack); err != nil {
+		return nil, err
+	}
+
+	// Pre-allocated arenas.
+	prealloc := scaleBytes(uint64(float64(footprint)*s.Alloc.PreallocFrac), 1)
+	if s.Alloc.PreallocFrac > 0 {
+		chunks := s.Alloc.PreallocChunks
+		if chunks <= 0 {
+			chunks = 1
+		}
+		per := units.AlignUp(prealloc/uint64(chunks), units.Page4K)
+		for i := 0; i < chunks; i++ {
+			va, err := task.AS.MMapAligned(per, units.Page1G, vmm.KindAnon)
+			if err != nil {
+				return nil, fmt.Errorf("workload %s: prealloc: %w", s.Name, err)
+			}
+			if err := inst.touch(policy, va, per); err != nil {
+				return nil, err
+			}
+			if observe != nil {
+				observe("prealloc")
+			}
+		}
+	}
+
+	// Incremental pieces, touched as they arrive.
+	remaining := footprint - prealloc
+	piece := s.Alloc.PieceBytes
+	if piece == 0 {
+		piece = 4 * units.MiB
+	}
+	type region struct{ va, size uint64 }
+	var pieces []region
+	nPieces := 0
+	if piece > 0 && remaining > 0 {
+		nPieces = int((remaining + piece - 1) / piece)
+	}
+	gapEvery := 0
+	if s.Alloc.Gaps > 0 && nPieces > s.Alloc.Gaps {
+		gapEvery = nPieces / (s.Alloc.Gaps + 1)
+	}
+	for n := 0; remaining > 0; n++ {
+		sz := piece
+		if sz > remaining {
+			sz = units.AlignUp(remaining, units.Page4K)
+		}
+		va, err := task.AS.MMap(sz, vmm.KindAnon)
+		if err != nil {
+			return nil, fmt.Errorf("workload %s: incremental: %w", s.Name, err)
+		}
+		if err := inst.touch(policy, va, sz); err != nil {
+			return nil, err
+		}
+		pieces = append(pieces, region{va, sz})
+		if observe != nil && n%8 == 0 {
+			observe("piece")
+		}
+		if remaining <= sz {
+			remaining = 0
+		} else {
+			remaining -= sz
+		}
+		if gapEvery > 0 && (n+1)%gapEvery == 0 {
+			// A foreign mapping lands after this piece: burn a little VA so
+			// the next piece cannot merge into the same VMA run.
+			gap, err := task.AS.MMap(4*units.Page4K, vmm.KindAnon)
+			if err != nil {
+				return nil, err
+			}
+			if err := task.AS.MUnmap(gap+units.Page4K, 2*units.Page4K); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Churn: free random pieces and allocate replacements (touched), leaving
+	// holes behind.
+	for op := 0; op < s.Alloc.ChurnOps && len(pieces) > 0; op++ {
+		i := inst.rng.Intn(len(pieces))
+		victim := pieces[i]
+		pieces[i] = pieces[len(pieces)-1]
+		pieces = pieces[:len(pieces)-1]
+		k.UnmapRange(task, victim.va, victim.va+victim.size)
+		if err := task.AS.MUnmap(victim.va, victim.size); err != nil {
+			return nil, fmt.Errorf("workload %s: churn unmap: %w", s.Name, err)
+		}
+		sz := units.AlignUp(victim.size/2+inst.rng.Uint64n(victim.size), units.Page4K)
+		va, err := task.AS.MMap(sz, vmm.KindAnon)
+		if err != nil {
+			return nil, fmt.Errorf("workload %s: churn alloc: %w", s.Name, err)
+		}
+		if err := inst.touch(policy, va, sz); err != nil {
+			return nil, err
+		}
+		pieces = append(pieces, region{va, sz})
+		if observe != nil {
+			observe("churn")
+		}
+	}
+
+	inst.buildSegments(scale)
+	return inst, nil
+}
+
+// touch demand-faults [va, va+size) in first-touch order. Already-mapped
+// stretches are skipped (a greedy policy like 1GB-hugetlbfs maps whole
+// aligned huge pages, covering later allocations in the same range).
+func (inst *Instance) touch(policy fault.Policy, va, size uint64) error {
+	end := va + size
+	for va < end {
+		if m, ok := inst.Task.AS.PT.Lookup(va); ok {
+			va = m.VA + m.Size.Bytes()
+			continue
+		}
+		r, err := policy.Handle(inst.Task, va)
+		if err != nil {
+			return fmt.Errorf("workload %s: fault at %#x: %w", inst.Spec.Name, va, err)
+		}
+		inst.FaultLatencies = append(inst.FaultLatencies, r.LatencyNs)
+		next := r.VA + r.Size.Bytes()
+		if next <= va {
+			return fmt.Errorf("workload %s: fault did not advance at %#x", inst.Spec.Name, va)
+		}
+		va = next
+	}
+	return nil
+}
+
+// buildSegments derives the linearized heap, the 1GB-unmappable fringe and
+// the hot window from the final VMA layout.
+func (inst *Instance) buildSegments(scale float64) {
+	inst.heap = segments{}
+	inst.fringe = segments{}
+	for _, v := range inst.Task.AS.VMAs() {
+		if v.Kind == vmm.KindStack {
+			continue
+		}
+		inst.heap.add(v.Start, v.Size())
+		core0 := units.AlignUp(v.Start, units.Page1G)
+		core1 := units.Align(v.End, units.Page1G)
+		if core1 <= core0 {
+			// Whole VMA is fringe.
+			inst.fringe.add(v.Start, v.Size())
+			continue
+		}
+		if core0 > v.Start {
+			inst.fringe.add(v.Start, core0-v.Start)
+		}
+		if v.End > core1 {
+			inst.fringe.add(core1, v.End-core1)
+		}
+	}
+	inst.hotBytes = scaleBytes(inst.Spec.Access.HotBytes, scale)
+	if inst.hotBytes == 0 || inst.hotBytes > inst.heap.total {
+		inst.hotBytes = inst.heap.total
+	}
+}
+
+// HeapBytes returns the total allocated heap bytes.
+func (inst *Instance) HeapBytes() uint64 { return inst.heap.total }
+
+// FringeBytes returns the heap bytes that are not coverable by any aligned
+// 1GB page (the Figure-3 gap).
+func (inst *Instance) FringeBytes() uint64 { return inst.fringe.total }
+
+// Next returns the next reference (virtual address and whether it is a
+// store).
+func (inst *Instance) Next() (uint64, bool) {
+	a := inst.Spec.Access
+	write := inst.rng.Bool(a.WriteFrac)
+	r := inst.rng.Float64()
+	switch {
+	case r < a.StackFrac && inst.StackBytes > 0:
+		return inst.StackVA + inst.rng.Uint64n(inst.StackBytes), write
+	case r < a.StackFrac+a.FringeFrac && inst.fringe.total > 0:
+		return inst.fringe.at(inst.rng.Uint64n(inst.fringe.total)), write
+	case r < a.StackFrac+a.FringeFrac+a.ColdFrac:
+		return inst.heap.at(inst.rng.Uint64n(inst.heap.total)), write
+	default:
+		return inst.heap.at(inst.rng.Uint64n(inst.hotBytes)), write
+	}
+}
+
+func scaleBytes(b uint64, scale float64) uint64 {
+	return units.AlignUp(uint64(float64(b)*scale), units.Page4K)
+}
+
+// Extend allocates `bytes` more heap (one incremental piece) and touches it
+// through policy, modelling a key-value store inserting during measurement.
+// It returns the total synchronous fault latency incurred. The new memory
+// joins the heap segments (accessible by Next) but the hot window and
+// fringe are left as built.
+func (inst *Instance) Extend(policy fault.Policy, bytes uint64) (float64, error) {
+	bytes = units.AlignUp(bytes, units.Page4K)
+	va, err := inst.Task.AS.MMap(bytes, vmm.KindAnon)
+	if err != nil {
+		return 0, fmt.Errorf("workload %s: extend: %w", inst.Spec.Name, err)
+	}
+	before := len(inst.FaultLatencies)
+	if err := inst.touch(policy, va, bytes); err != nil {
+		return 0, err
+	}
+	var stall float64
+	for _, ns := range inst.FaultLatencies[before:] {
+		stall += ns
+	}
+	inst.heap.add(va, bytes)
+	return stall, nil
+}

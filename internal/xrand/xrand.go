@@ -1,0 +1,130 @@
+// Package xrand provides the deterministic random-number generation used by
+// every stochastic component of the simulator (workload access streams, the
+// fragmenter, sampled promotion scans). All randomness in the repository
+// flows from explicit seeds through this package so that every experiment is
+// exactly reproducible.
+//
+// The core generator is splitmix64 (Steele et al.), which is tiny, fast,
+// passes BigCrush when used as a stream, and — unlike math/rand's global
+// functions — carries no hidden global state.
+package xrand
+
+import "math"
+
+// Rand is a deterministic pseudo-random number generator.
+// The zero value is a valid generator seeded with 0.
+type Rand struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 returns the next 64 pseudo-random bits (splitmix64).
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64n returns a pseudo-random number in [0, n). It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n called with n == 0")
+	}
+	// Lemire's nearly-divisionless bounded generation would be overkill here;
+	// modulo bias is negligible for the ranges the simulator uses (< 2^40),
+	// but reject the biased tail anyway so property tests on uniformity hold.
+	max := math.MaxUint64 - math.MaxUint64%n
+	for {
+		v := r.Uint64()
+		if v < max {
+			return v % n
+		}
+	}
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn called with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Split returns a new independent generator derived from r's stream.
+// Useful for giving each subsystem its own stream from one experiment seed.
+func (r *Rand) Split() *Rand { return New(r.Uint64()) }
+
+// Zipf generates Zipf-distributed values over [0, n): value k is drawn with
+// probability proportional to 1/(k+1)^s. It is used to model skewed
+// ("hot/cold") access patterns such as key-value-store key popularity.
+type Zipf struct {
+	r   *Rand
+	n   uint64
+	s   float64
+	cdf []float64 // cumulative distribution, len n (built once)
+}
+
+// NewZipf returns a Zipf generator over [0, n) with exponent s > 0.
+// Construction is O(n); n is expected to be modest (regions, not bytes).
+func NewZipf(r *Rand, n uint64, s float64) *Zipf {
+	if n == 0 {
+		panic("xrand: NewZipf with n == 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := uint64(0); k < n; k++ {
+		sum += 1 / math.Pow(float64(k+1), s)
+		cdf[k] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	return &Zipf{r: r, n: n, s: s, cdf: cdf}
+}
+
+// Next returns the next Zipf-distributed value in [0, n).
+func (z *Zipf) Next() uint64 {
+	u := z.r.Float64()
+	// Binary search the CDF.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return uint64(lo)
+}

@@ -1,0 +1,83 @@
+// Package zerofill models Trident's asynchronous zero-fill daemon (§5.1.2).
+//
+// A 1GB page fault must hand the application zeroed memory (leftover data
+// must not leak), and zeroing 1GB synchronously costs ≈400 ms. The daemon
+// instead zero-fills free 1GB regions in the background; a fault that finds
+// a pre-zeroed region completes in ≈2.7 ms. The paper reports this dropped
+// the boot time of a 70GB VM from 25 s to 13 s.
+//
+// The "is this region still zeroed?" problem is handled the way the kernel
+// does: the zeroed flag lives with the physical region metadata and any
+// allocation touching the region clears it (phys.RegionStats.Zeroed).
+package zerofill
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/perfmodel"
+	"repro/internal/units"
+)
+
+// Daemon is the background zero-filler.
+type Daemon struct {
+	K *kernel.Kernel
+
+	// RegionsZeroed counts background zero-fill operations performed.
+	RegionsZeroed uint64
+	// Nanoseconds is modeled background CPU time spent zeroing.
+	Nanoseconds float64
+}
+
+// New creates a zero-fill daemon over k.
+func New(k *kernel.Kernel) *Daemon { return &Daemon{K: k} }
+
+// Refill zero-fills up to max fully-free, not-yet-zeroed 1GB regions,
+// returning how many it zeroed. This is one wakeup of the kernel thread.
+func (d *Daemon) Refill(max int) int {
+	if max <= 0 {
+		return 0
+	}
+	mem := d.K.Mem
+	zeroed := 0
+	for r := uint64(0); r < mem.NumRegions() && zeroed < max; r++ {
+		st := mem.Region(r)
+		if st.Free == units.FramesPerRegion && !st.Zeroed {
+			mem.SetRegionZeroed(r)
+			d.RegionsZeroed++
+			d.Nanoseconds += perfmodel.ZeroNs(units.Page1G)
+			zeroed++
+		}
+	}
+	return zeroed
+}
+
+// ZeroedAvailable returns the number of free 1GB regions currently
+// pre-zeroed.
+func (d *Daemon) ZeroedAvailable() int {
+	mem := d.K.Mem
+	n := 0
+	for r := uint64(0); r < mem.NumRegions(); r++ {
+		if st := mem.Region(r); st.Free == units.FramesPerRegion && st.Zeroed {
+			n++
+		}
+	}
+	return n
+}
+
+// TakeZeroed allocates one pre-zeroed 1GB chunk, returning its head PFN.
+// The second result is false if no zeroed region is available (the caller
+// then either zeroes synchronously or falls back to a smaller page).
+func (d *Daemon) TakeZeroed() (uint64, bool) {
+	mem := d.K.Mem
+	for r := uint64(0); r < mem.NumRegions(); r++ {
+		st := mem.Region(r)
+		if st.Free != units.FramesPerRegion || !st.Zeroed {
+			continue
+		}
+		pfn := r * units.FramesPerRegion
+		if err := d.K.Buddy.AllocSpecific(pfn, units.Order1G, false); err != nil {
+			continue
+		}
+		return pfn, true
+	}
+	return 0, false
+}

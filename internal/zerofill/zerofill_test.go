@@ -1,0 +1,120 @@
+package zerofill
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/perfmodel"
+	"repro/internal/units"
+)
+
+func TestRefillZeroesFreeRegions(t *testing.T) {
+	k := kernel.New(4*units.Page1G, units.TridentMaxOrder)
+	d := New(k)
+	if n := d.Refill(2); n != 2 {
+		t.Fatalf("Refill = %d, want 2", n)
+	}
+	if d.ZeroedAvailable() != 2 {
+		t.Errorf("ZeroedAvailable = %d", d.ZeroedAvailable())
+	}
+	if n := d.Refill(10); n != 2 {
+		t.Errorf("second Refill = %d, want remaining 2", n)
+	}
+	// No regions left to zero.
+	if n := d.Refill(10); n != 0 {
+		t.Errorf("third Refill = %d, want 0", n)
+	}
+	if d.RegionsZeroed != 4 {
+		t.Errorf("RegionsZeroed = %d", d.RegionsZeroed)
+	}
+	// Background time: 4 × ~400ms.
+	wantNs := 4 * perfmodel.ZeroNs(units.Page1G)
+	if d.Nanoseconds != wantNs {
+		t.Errorf("Nanoseconds = %v, want %v", d.Nanoseconds, wantNs)
+	}
+}
+
+func TestRefillSkipsOccupiedRegions(t *testing.T) {
+	k := kernel.New(2*units.Page1G, units.TridentMaxOrder)
+	if _, err := k.Buddy.Alloc(0, false); err != nil {
+		t.Fatal(err)
+	}
+	d := New(k)
+	if n := d.Refill(10); n != 1 {
+		t.Errorf("Refill = %d, want 1 (one region occupied)", n)
+	}
+}
+
+func TestTakeZeroed(t *testing.T) {
+	k := kernel.New(2*units.Page1G, units.TridentMaxOrder)
+	d := New(k)
+	d.Refill(10)
+	pfn, ok := d.TakeZeroed()
+	if !ok {
+		t.Fatal("TakeZeroed failed")
+	}
+	if !units.IsAligned(pfn, units.FramesPerRegion) {
+		t.Errorf("pfn %d not region-aligned", pfn)
+	}
+	if !k.Mem.IsAllocated(pfn) {
+		t.Error("chunk not allocated")
+	}
+	if d.ZeroedAvailable() != 1 {
+		t.Errorf("ZeroedAvailable = %d", d.ZeroedAvailable())
+	}
+	// Taking a zeroed region clears its flag (it is now in use).
+	if k.Mem.Region(units.RegionOfFrame(pfn)).Zeroed {
+		t.Error("taken region still marked zeroed")
+	}
+}
+
+func TestTakeZeroedEmptyPool(t *testing.T) {
+	k := kernel.New(units.Page1G, units.TridentMaxOrder)
+	d := New(k)
+	if _, ok := d.TakeZeroed(); ok {
+		t.Error("TakeZeroed succeeded without refill")
+	}
+}
+
+func TestAllocationInvalidatesZeroed(t *testing.T) {
+	k := kernel.New(units.Page1G, units.TridentMaxOrder)
+	d := New(k)
+	d.Refill(1)
+	// Someone else allocates a 4KB page inside the zeroed region.
+	if _, err := k.Buddy.Alloc(0, false); err != nil {
+		t.Fatal(err)
+	}
+	if d.ZeroedAvailable() != 0 {
+		t.Error("allocation did not invalidate zeroed flag")
+	}
+	if _, ok := d.TakeZeroed(); ok {
+		t.Error("stale zeroed region handed out")
+	}
+}
+
+func TestFreeDoesNotRestoreZeroed(t *testing.T) {
+	k := kernel.New(units.Page1G, units.TridentMaxOrder)
+	d := New(k)
+	d.Refill(1)
+	pfn, err := k.Buddy.Alloc(0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Buddy.Free(pfn, 0)
+	// The region is fully free again but its contents are dirty.
+	if d.ZeroedAvailable() != 0 {
+		t.Error("freeing restored zeroed status")
+	}
+	// But the daemon can re-zero it.
+	if n := d.Refill(1); n != 1 {
+		t.Error("daemon could not re-zero region")
+	}
+}
+
+func TestRefillZeroMax(t *testing.T) {
+	k := kernel.New(units.Page1G, units.TridentMaxOrder)
+	d := New(k)
+	if d.Refill(0) != 0 || d.Refill(-1) != 0 {
+		t.Error("non-positive max should be a no-op")
+	}
+}
