@@ -1,0 +1,31 @@
+# Build/verify entry points. `make verify` is the tier-1 gate (ROADMAP.md):
+# it must pass on every commit.
+
+GO ?= go
+
+.PHONY: all build vet test race bench verify clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The runner package is the only concurrency in the tree (stats tables are
+# its shared sink), so those two get the race detector on every verify.
+race:
+	$(GO) test -race ./internal/runner ./internal/stats
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime 1x .
+
+verify: build vet test race
+
+clean:
+	rm -rf report
+	$(GO) clean

@@ -10,7 +10,13 @@ package trident
 //	go test -bench=BenchmarkFigure9 -benchtime 3x
 
 import (
+	"runtime"
 	"testing"
+	"time"
+
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 func benchExperiment(b *testing.B, run func(Settings) *Table, minRows int) {
@@ -19,11 +25,50 @@ func benchExperiment(b *testing.B, run func(Settings) *Table, minRows int) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		// Drop memoized results so every iteration measures real simulation
+		// work, not cache lookups.
+		runner.ResetCache()
 		t := run(s)
 		if t.NumRows() < minRows {
 			b.Fatalf("experiment produced %d rows, want >= %d", t.NumRows(), minRows)
 		}
 	}
+}
+
+// BenchmarkRunnerScaling measures the worker-pool speedup on a fixed
+// simulation grid: the Figure 9 policies over the 1GB-sensitive workloads at
+// QuickScale, cache disabled so both runs do identical work. The "speedup"
+// metric is sequential time / parallel time at GOMAXPROCS workers; on a
+// single-core host it hovers around 1.0 — the interesting output is the
+// scaling on multi-core machines.
+func BenchmarkRunnerScaling(b *testing.B) {
+	s := QuickScale()
+	var jobs []runner.Job
+	for _, w := range workload.Sensitive() {
+		for _, p := range []sim.PolicyKind{sim.PolicyTHP, sim.PolicyTrident} {
+			cfg := sim.Config{
+				Workload: w, Policy: p,
+				MemGB: s.MemGB, Scale: s.Scale, Accesses: s.Accesses, Seed: s.Seed,
+				TLB: s.TLB,
+			}
+			jobs = append(jobs, runner.Sim(cfg, nil))
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	var seq, par time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		runner.Execute(jobs, runner.Options{Parallelism: 1, NoCache: true})
+		seq += time.Since(t0)
+		t1 := time.Now()
+		runner.Execute(jobs, runner.Options{Parallelism: workers, NoCache: true})
+		par += time.Since(t1)
+	}
+	if par > 0 {
+		b.ReportMetric(float64(seq)/float64(par), "speedup")
+	}
+	b.ReportMetric(float64(workers), "workers")
 }
 
 // BenchmarkFigure1 regenerates Figure 1 (a+b): native walk cycles and

@@ -6,6 +6,7 @@
 //	experiments                  # full scale (≈10–15 minutes)
 //	experiments -quick           # half scale (≈2 minutes)
 //	experiments -only fig9,tab3  # subset
+//	experiments -parallel 8      # 8 simulation workers (output is identical)
 package main
 
 import (
@@ -13,10 +14,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	trident "repro"
+	"repro/internal/runner"
 )
 
 type experiment struct {
@@ -45,46 +49,116 @@ var all = []experiment{
 	{"tlbsweep", "tlb_sweep", trident.TLBSweep},
 }
 
+func validKeys() string {
+	keys := make([]string, len(all))
+	for i, e := range all {
+		keys[i] = e.key
+	}
+	return strings.Join(keys, ",")
+}
+
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
-		out   = flag.String("out", "report", "directory for CSV output")
-		quick = flag.Bool("quick", false, "half-scale run (faster)")
-		only  = flag.String("only", "", "comma-separated experiment keys (default: all); keys: fig1,fig2,fig3,fig4,fig7,fig9,fig10,fig11,fig12,fig13,tab3,tab4,tab5,faultlat,pvlat,directmap,tlbsweep")
-		seed  = flag.Uint64("seed", 1, "random seed")
+		out        = flag.String("out", "report", "directory for CSV output")
+		quick      = flag.Bool("quick", false, "half-scale run (faster)")
+		only       = flag.String("only", "", "comma-separated experiment keys (default: all); keys: "+validKeys())
+		seed       = flag.Uint64("seed", 1, "random seed (must be nonzero)")
+		parallel   = flag.Int("parallel", 0, "simulation workers (0 = GOMAXPROCS); output is identical for any value")
+		cpuprofile = flag.String("cpuprofile", "", "write CPU profile to file")
+		memprofile = flag.String("memprofile", "", "write heap profile to file on exit")
 	)
 	flag.Parse()
+
+	// Seed 0 is reserved internally as "unset" and would be silently
+	// remapped to 1; reject it here so -seed 0 and -seed 1 can't be
+	// mistaken for distinct runs.
+	if *seed == 0 {
+		return fmt.Errorf("-seed 0 is reserved (it means \"unset\" and would alias -seed 1); pick a nonzero seed")
+	}
 
 	settings := trident.FullScale()
 	if *quick {
 		settings = trident.QuickScale()
 	}
 	settings.Seed = *seed
+	settings.Parallelism = *parallel
 
 	selected := map[string]bool{}
 	if *only != "" {
+		valid := map[string]bool{}
+		for _, e := range all {
+			valid[e.key] = true
+		}
 		for _, k := range strings.Split(*only, ",") {
-			selected[strings.TrimSpace(k)] = true
+			k = strings.TrimSpace(k)
+			if !valid[k] {
+				return fmt.Errorf("unknown experiment key %q; valid keys: %s", k, validKeys())
+			}
+			selected[k] = true
 		}
 	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	totalStart := time.Now()
+	ran := 0
 	for _, e := range all {
 		if len(selected) > 0 && !selected[e.key] {
 			continue
 		}
+		before := runner.Cache()
 		start := time.Now()
 		table := e.run(settings)
 		elapsed := time.Since(start).Round(time.Millisecond)
+		after := runner.Cache()
 		fmt.Println(table)
 		path := filepath.Join(*out, e.name+".csv")
 		if err := os.WriteFile(path, []byte(table.CSV()), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: writing %s: %v\n", path, err)
-			os.Exit(1)
+			return fmt.Errorf("writing %s: %w", path, err)
 		}
-		fmt.Printf("-> %s (%s)\n\n", path, elapsed)
+		fmt.Printf("-> %s (%s, cache %d hit / %d miss)\n\n",
+			path, elapsed, after.Hits-before.Hits, after.Misses-before.Misses)
+		ran++
 	}
+	cs := runner.Cache()
+	fmt.Printf("ran %d experiment(s) in %s with %d worker(s): %d unique simulation(s), %d cache hit(s)\n",
+		ran, time.Since(totalStart).Round(time.Millisecond), workers, cs.Misses, cs.Hits)
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -14,7 +14,6 @@
 package buddy
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 
@@ -212,15 +211,15 @@ func (a *Allocator) FreeChunkHeads(order int) []uint64 {
 
 func (a *Allocator) insertFree(pfn uint64, order int) {
 	a.freeOrder[pfn] = int8(order)
-	heap.Push(&a.heaps[order], pfn)
+	a.heaps[order].push(pfn)
 	a.counts[order]++
 }
 
 // popFree removes and returns the lowest-addressed free chunk of the order.
 func (a *Allocator) popFree(order int) uint64 {
 	h := &a.heaps[order]
-	for h.Len() > 0 {
-		pfn := heap.Pop(h).(uint64)
+	for len(*h) > 0 {
+		pfn := h.pop()
 		if int(a.freeOrder[pfn]) == order {
 			a.freeOrder[pfn] = -1
 			a.counts[order]--
@@ -294,17 +293,47 @@ func dedupSorted(s []uint64) []uint64 {
 	return out
 }
 
-// pfnHeap is a min-heap of PFNs implementing container/heap.
+// pfnHeap is a min-heap of PFNs. push/pop mirror container/heap's sift
+// algorithms exactly (same comparisons, same swap order, so the pop
+// sequence — and with it every simulated allocation — is bit-identical to
+// the container/heap version), but operate on uint64 directly: the
+// interface boxing of heap.Push/heap.Pop was the simulator's single
+// largest allocation source (~7M allocations per figure on the fault path).
 type pfnHeap []uint64
 
-func (h pfnHeap) Len() int            { return len(h) }
-func (h pfnHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h pfnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *pfnHeap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
-func (h *pfnHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
-	return v
+func (h *pfnHeap) push(v uint64) {
+	s := append(*h, v)
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if s[i] <= s[j] {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+	*h = s
+}
+
+func (h *pfnHeap) pop() uint64 {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && s[j2] < s[j] {
+			j = j2
+		}
+		if s[i] <= s[j] {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	*h = s[:n]
+	return s[n]
 }

@@ -1,8 +1,15 @@
 // Package experiments contains one driver per figure and table of the
-// paper's evaluation. Each driver runs the necessary sim configurations and
-// returns a stats.Table whose rows mirror what the paper plots; the
-// cmd/experiments binary writes them as CSV, and bench_test.go at the
-// repository root exposes each as a testing.B benchmark.
+// paper's evaluation. Each driver enumerates the sim configurations it
+// needs as runner.Jobs, executes them on the shared parallel engine
+// (internal/runner), and returns a stats.Table whose rows mirror what the
+// paper plots; the cmd/experiments binary writes them as CSV, and
+// bench_test.go at the repository root exposes each as a testing.B
+// benchmark.
+//
+// Rows are assembled in job-submission order regardless of the worker
+// count, so every table is byte-identical to a sequential run (DESIGN.md
+// §5, "Parallel execution"). Repeated configurations — across figures and
+// within one — are served from the runner's process-wide memo cache.
 //
 // See DESIGN.md §3 for the experiment index and EXPERIMENTS.md for
 // paper-vs-measured numbers.
@@ -11,6 +18,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tlb"
@@ -20,27 +28,34 @@ import (
 
 // Settings scales an experiment run. The zero value means full scale:
 // 32GB machine, ÷10 footprints (workload package defaults), Skylake TLBs,
-// 2M sampled references per configuration.
+// 2M sampled references per configuration, GOMAXPROCS-wide parallelism.
 type Settings struct {
 	MemGB    uint64
 	Scale    float64
 	Accesses int
-	Seed     uint64
-	TLB      *tlb.Config
+	// Seed drives all randomness. 0 means "unset" and resolves to
+	// sim.DefaultSeed (see that constant's doc for the contract).
+	Seed uint64
+	TLB  *tlb.Config
+	// Parallelism is the experiment engine's worker-pool size; <= 0 means
+	// GOMAXPROCS. Output is byte-identical for any value.
+	Parallelism int
 }
 
+// fill resolves defaults from the sim package's canonical constants, so the
+// two layers cannot drift apart.
 func (s Settings) fill() Settings {
 	if s.MemGB == 0 {
-		s.MemGB = 32
+		s.MemGB = sim.DefaultMemGB
 	}
 	if s.Scale == 0 {
-		s.Scale = 1
+		s.Scale = sim.DefaultScale
 	}
 	if s.Accesses == 0 {
-		s.Accesses = 2_000_000
+		s.Accesses = sim.DefaultAccesses
 	}
 	if s.Seed == 0 {
-		s.Seed = 1
+		s.Seed = sim.DefaultSeed
 	}
 	return s
 }
@@ -92,12 +107,9 @@ func (s Settings) config(w *workload.Spec, p sim.PolicyKind) sim.Config {
 	}
 }
 
-func mustRun(cfg sim.Config) *sim.Result {
-	res, err := sim.Run(cfg)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: %s/%v: %v", cfg.Workload.Name, cfg.Policy, err))
-	}
-	return res
+// run executes jobs on the shared engine, honoring s.Parallelism.
+func (s Settings) run(jobs []runner.Job) {
+	runner.Execute(jobs, runner.Options{Parallelism: s.Parallelism})
 }
 
 // gb renders bytes as a GB quantity with two decimals (Table 3's unit).
@@ -112,20 +124,23 @@ func Figure1(s Settings) *stats.Table {
 	t := stats.NewTable("Figure 1: page sizes under native execution",
 		"workload", "config", "walk_frac", "walk_frac_norm", "perf_norm", "sensitive_1g")
 	policies := []sim.PolicyKind{sim.Policy4K, sim.PolicyTHP, sim.PolicyHugetlbfs2M, sim.PolicyHugetlbfs1G}
+	var jobs []runner.Job
 	for _, w := range workload.All() {
 		var base *sim.Result
 		for _, p := range policies {
-			res := mustRun(s.config(w, p))
-			if p == sim.Policy4K {
-				base = res
-			}
-			t.AddRow(w.Name, res.Policy,
-				res.Perf.WalkCycleFraction,
-				ratio(res.Perf.WalkCycleFraction, base.Perf.WalkCycleFraction),
-				ratio(base.Perf.CyclesPerAccess, res.Perf.CyclesPerAccess),
-				w.Sensitive1G)
+			jobs = append(jobs, runner.Sim(s.config(w, p), func(res *sim.Result) {
+				if p == sim.Policy4K {
+					base = res
+				}
+				t.AddRow(w.Name, res.Policy,
+					res.Perf.WalkCycleFraction,
+					ratio(res.Perf.WalkCycleFraction, base.Perf.WalkCycleFraction),
+					ratio(base.Perf.CyclesPerAccess, res.Perf.CyclesPerAccess),
+					w.Sensitive1G)
+			}))
 		}
 	}
+	s.run(jobs)
 	return t
 }
 
@@ -141,23 +156,26 @@ func Figure2(s Settings) *stats.Table {
 		sim.PolicyHugetlbfs2M: "2MB+2MB",
 		sim.PolicyHugetlbfs1G: "1GB+1GB",
 	}
+	var jobs []runner.Job
 	for _, w := range workload.All() {
 		var base *sim.Result
 		for _, p := range policies {
 			cfg := s.config(w, p)
 			cfg.Virtualized = true
 			cfg.HostPolicy = p
-			res := mustRun(cfg)
-			if p == sim.Policy4K {
-				base = res
-			}
-			t.AddRow(w.Name, labels[p],
-				res.Perf.WalkCycleFraction,
-				ratio(res.Perf.WalkCycleFraction, base.Perf.WalkCycleFraction),
-				ratio(base.Perf.CyclesPerAccess, res.Perf.CyclesPerAccess),
-				w.Sensitive1G)
+			jobs = append(jobs, runner.Sim(cfg, func(res *sim.Result) {
+				if p == sim.Policy4K {
+					base = res
+				}
+				t.AddRow(w.Name, labels[p],
+					res.Perf.WalkCycleFraction,
+					ratio(res.Perf.WalkCycleFraction, base.Perf.WalkCycleFraction),
+					ratio(base.Perf.CyclesPerAccess, res.Perf.CyclesPerAccess),
+					w.Sensitive1G)
+			}))
 		}
 	}
+	s.run(jobs)
 	return t
 }
 
@@ -179,22 +197,25 @@ func compareSystems(s Settings, title string, frag bool) *stats.Table {
 	t := stats.NewTable(title,
 		"workload", "config", "perf_norm", "walk_frac_norm", "mapped_1g_gb", "mapped_2m_gb")
 	policies := []sim.PolicyKind{sim.PolicyTHP, sim.PolicyHawkEye, sim.PolicyTrident}
+	var jobs []runner.Job
 	for _, w := range workload.Sensitive() {
 		var base *sim.Result
 		for _, p := range policies {
 			cfg := s.config(w, p)
 			cfg.Fragment = frag
-			res := mustRun(cfg)
-			if p == sim.PolicyTHP {
-				base = res
-			}
-			t.AddRow(w.Name, res.Policy,
-				ratio(base.Perf.CyclesPerAccess, res.Perf.CyclesPerAccess),
-				ratio(res.Perf.WalkCycleFraction, base.Perf.WalkCycleFraction),
-				gb(res.MappedFinal[units.Size1G]),
-				gb(res.MappedFinal[units.Size2M]))
+			jobs = append(jobs, runner.Sim(cfg, func(res *sim.Result) {
+				if p == sim.PolicyTHP {
+					base = res
+				}
+				t.AddRow(w.Name, res.Policy,
+					ratio(base.Perf.CyclesPerAccess, res.Perf.CyclesPerAccess),
+					ratio(res.Perf.WalkCycleFraction, base.Perf.WalkCycleFraction),
+					gb(res.MappedFinal[units.Size1G]),
+					gb(res.MappedFinal[units.Size2M]))
+			}))
 		}
 	}
+	s.run(jobs)
 	return t
 }
 
@@ -208,21 +229,24 @@ func Figure11(s Settings) *stats.Table {
 	policies := []sim.PolicyKind{
 		sim.PolicyTHP, sim.PolicyTrident1GOnly, sim.PolicyTridentNC, sim.PolicyTrident,
 	}
+	var jobs []runner.Job
 	for _, frag := range []bool{false, true} {
 		for _, w := range workload.Sensitive() {
 			var base *sim.Result
 			for _, p := range policies {
 				cfg := s.config(w, p)
 				cfg.Fragment = frag
-				res := mustRun(cfg)
-				if p == sim.PolicyTHP {
-					base = res
-				}
-				t.AddRow(w.Name, frag, res.Policy,
-					ratio(base.Perf.CyclesPerAccess, res.Perf.CyclesPerAccess))
+				jobs = append(jobs, runner.Sim(cfg, func(res *sim.Result) {
+					if p == sim.PolicyTHP {
+						base = res
+					}
+					t.AddRow(w.Name, frag, res.Policy,
+						ratio(base.Perf.CyclesPerAccess, res.Perf.CyclesPerAccess))
+				}))
 			}
 		}
 	}
+	s.run(jobs)
 	return t
 }
 
@@ -245,23 +269,26 @@ func Table3(s Settings) *stats.Table {
 		{"promotion-normal-compaction", sim.PolicyTridentNC, false},
 		{"promotion-smart-compaction", sim.PolicyTrident, false},
 	}
+	var jobs []runner.Job
 	for _, frag := range []bool{false, true} {
 		for _, w := range workload.Sensitive() {
 			for _, m := range mechs {
 				cfg := s.config(w, m.policy)
 				cfg.Fragment = frag
 				cfg.DisablePromotion = m.noDaemo
-				res := mustRun(cfg)
-				mapped := res.MappedFinal
-				if m.noDaemo {
-					mapped = res.MappedAfterFaults
-				}
-				t.AddRow(w.Name, frag, m.name,
-					gb(mapped[units.Size1G]), gb(mapped[units.Size2M]),
-					gb(res.HeapBytes))
+				jobs = append(jobs, runner.Sim(cfg, func(res *sim.Result) {
+					mapped := res.MappedFinal
+					if m.noDaemo {
+						mapped = res.MappedAfterFaults
+					}
+					t.AddRow(w.Name, frag, m.name,
+						gb(mapped[units.Size1G]), gb(mapped[units.Size2M]),
+						gb(res.HeapBytes))
+				}))
 			}
 		}
 	}
+	s.run(jobs)
 	return t
 }
 
@@ -273,34 +300,38 @@ func Figure7(s Settings) *stats.Table {
 	s.Accesses = minInt(s.Accesses, 50_000)
 	t := stats.NewTable("Figure 7: bytes-copied reduction from smart compaction",
 		"workload", "normal_copied_gb", "smart_copied_gb", "reduction_pct")
+	var jobs []runner.Job
 	for _, w := range workload.Sensitive() {
 		nc := s.config(w, sim.PolicyTridentNC)
 		nc.Fragment = true
-		ncRes := mustRun(nc)
 		sm := s.config(w, sim.PolicyTrident)
 		sm.Fragment = true
-		smRes := mustRun(sm)
 
-		// Compare the 1GB-chunk-creation compactors only: Trident-NC's
-		// sequential 1GB compactor vs Trident's smart compactor. (Both
-		// configurations also run identical 2MB compaction for khugepaged's
-		// 2MB fallback; including it would dilute the comparison.)
-		var normalBytes, smartBytes uint64
-		if ncRes.Normal1GCompact != nil {
-			normalBytes = ncRes.Normal1GCompact.BytesCopied
-		}
-		if smRes.SmartCompact != nil {
-			smartBytes = smRes.SmartCompact.BytesCopied
-		}
-		red := 0.0
-		if normalBytes > 0 {
-			red = (1 - float64(smartBytes)/float64(normalBytes)) * 100
-			if red < 0 {
-				red = 0
+		var ncRes *sim.Result
+		jobs = append(jobs, runner.Sim(nc, func(res *sim.Result) { ncRes = res }))
+		jobs = append(jobs, runner.Sim(sm, func(smRes *sim.Result) {
+			// Compare the 1GB-chunk-creation compactors only: Trident-NC's
+			// sequential 1GB compactor vs Trident's smart compactor. (Both
+			// configurations also run identical 2MB compaction for khugepaged's
+			// 2MB fallback; including it would dilute the comparison.)
+			var normalBytes, smartBytes uint64
+			if ncRes.Normal1GCompact != nil {
+				normalBytes = ncRes.Normal1GCompact.BytesCopied
 			}
-		}
-		t.AddRow(w.Name, gb(normalBytes), gb(smartBytes), red)
+			if smRes.SmartCompact != nil {
+				smartBytes = smRes.SmartCompact.BytesCopied
+			}
+			red := 0.0
+			if normalBytes > 0 {
+				red = (1 - float64(smartBytes)/float64(normalBytes)) * 100
+				if red < 0 {
+					red = 0
+				}
+			}
+			t.AddRow(w.Name, gb(normalBytes), gb(smartBytes), red)
+		}))
 	}
+	s.run(jobs)
 	return t
 }
 
@@ -312,25 +343,28 @@ func Table4(s Settings) *stats.Table {
 	s.Accesses = minInt(s.Accesses, 50_000)
 	t := stats.NewTable("Table 4: 1GB allocation failures under fragmentation",
 		"workload", "fault_attempts", "fault_fail_pct", "promo_attempts", "promo_fail_pct")
+	var jobs []runner.Job
 	for _, w := range workload.Sensitive() {
 		cfg := s.config(w, sim.PolicyTrident)
 		cfg.Fragment = true
-		res := mustRun(cfg)
-		faultPct := "NA"
-		if res.Fault.Attempts1G > 0 {
-			faultPct = fmt.Sprintf("%.0f", 100*float64(res.Fault.Failed1G)/float64(res.Fault.Attempts1G))
-		}
-		promoPct := "NA"
-		if res.Promote != nil && res.Promote.Attempts1G > 0 {
-			promoPct = fmt.Sprintf("%.0f",
-				100*float64(res.Promote.Failed1G)/float64(res.Promote.Attempts1G))
-		}
-		var pa uint64
-		if res.Promote != nil {
-			pa = res.Promote.Attempts1G
-		}
-		t.AddRow(w.Name, res.Fault.Attempts1G, faultPct, pa, promoPct)
+		jobs = append(jobs, runner.Sim(cfg, func(res *sim.Result) {
+			faultPct := "NA"
+			if res.Fault.Attempts1G > 0 {
+				faultPct = fmt.Sprintf("%.0f", 100*float64(res.Fault.Failed1G)/float64(res.Fault.Attempts1G))
+			}
+			promoPct := "NA"
+			if res.Promote != nil && res.Promote.Attempts1G > 0 {
+				promoPct = fmt.Sprintf("%.0f",
+					100*float64(res.Promote.Failed1G)/float64(res.Promote.Attempts1G))
+			}
+			var pa uint64
+			if res.Promote != nil {
+				pa = res.Promote.Attempts1G
+			}
+			t.AddRow(w.Name, res.Fault.Attempts1G, faultPct, pa, promoPct)
+		}))
 	}
+	s.run(jobs)
 	return t
 }
 
@@ -340,17 +374,20 @@ func Table5(s Settings) *stats.Table {
 	s = s.fill()
 	t := stats.NewTable("Table 5: tail latency (ms)",
 		"workload", "fragmented", "config", "p99_ms")
+	var jobs []runner.Job
 	for _, name := range []string{"Redis", "Memcached"} {
 		w, _ := workload.ByName(name)
 		for _, frag := range []bool{false, true} {
 			for _, p := range []sim.PolicyKind{sim.Policy4K, sim.PolicyTHP, sim.PolicyTrident} {
 				cfg := s.config(w, p)
 				cfg.Fragment = frag
-				res := mustRun(cfg)
-				t.AddRow(w.Name, frag, res.Policy, res.TailP99Ns/1e6)
+				jobs = append(jobs, runner.Sim(cfg, func(res *sim.Result) {
+					t.AddRow(w.Name, frag, res.Policy, res.TailP99Ns/1e6)
+				}))
 			}
 		}
 	}
+	s.run(jobs)
 	return t
 }
 
@@ -362,20 +399,23 @@ func Figure12(s Settings) *stats.Table {
 	t := stats.NewTable("Figure 12: performance under virtualization",
 		"workload", "config", "perf_norm")
 	policies := []sim.PolicyKind{sim.PolicyTHP, sim.PolicyHawkEye, sim.PolicyTrident}
+	var jobs []runner.Job
 	for _, w := range workload.Sensitive() {
 		var base *sim.Result
 		for _, p := range policies {
 			cfg := s.config(w, p)
 			cfg.Virtualized = true
 			cfg.HostPolicy = p
-			res := mustRun(cfg)
-			if p == sim.PolicyTHP {
-				base = res
-			}
-			t.AddRow(w.Name, res.Policy,
-				ratio(base.Perf.CyclesPerAccess, res.Perf.CyclesPerAccess))
+			jobs = append(jobs, runner.Sim(cfg, func(res *sim.Result) {
+				if p == sim.PolicyTHP {
+					base = res
+				}
+				t.AddRow(w.Name, res.Policy,
+					ratio(base.Perf.CyclesPerAccess, res.Perf.CyclesPerAccess))
+			}))
 		}
 	}
+	s.run(jobs)
 	return t
 }
 
@@ -386,13 +426,16 @@ func Figure13(s Settings) *stats.Table {
 	s = s.fill()
 	t := stats.NewTable("Figure 13: Trident_pv under fragmented gPA",
 		"workload", "config", "perf_norm", "pages_exchanged")
+	var jobs []runner.Job
 	for _, w := range workload.Sensitive() {
 		baseCfg := s.config(w, sim.PolicyTHP)
 		baseCfg.Virtualized = true
 		baseCfg.HostPolicy = sim.PolicyTHP
 		baseCfg.Fragment = true
 		baseCfg.KhugepagedBudgetFrac = 0.10
-		base := mustRun(baseCfg)
+
+		var base *sim.Result
+		jobs = append(jobs, runner.Sim(baseCfg, func(res *sim.Result) { base = res }))
 
 		for _, pv := range []bool{false, true} {
 			cfg := s.config(w, sim.PolicyTrident)
@@ -401,15 +444,17 @@ func Figure13(s Settings) *stats.Table {
 			cfg.Fragment = true
 			cfg.KhugepagedBudgetFrac = 0.10
 			cfg.Pv = pv
-			res := mustRun(cfg)
-			var exch uint64
-			if res.VirtStats != nil {
-				exch = res.VirtStats.PagesExchanged
-			}
-			t.AddRow(w.Name, res.Policy,
-				ratio(base.Perf.CyclesPerAccess, res.Perf.CyclesPerAccess), exch)
+			jobs = append(jobs, runner.Sim(cfg, func(res *sim.Result) {
+				var exch uint64
+				if res.VirtStats != nil {
+					exch = res.VirtStats.PagesExchanged
+				}
+				t.AddRow(w.Name, res.Policy,
+					ratio(base.Perf.CyclesPerAccess, res.Perf.CyclesPerAccess), exch)
+			}))
 		}
 	}
+	s.run(jobs)
 	return t
 }
 

@@ -3,6 +3,9 @@ package experiments
 import (
 	"strconv"
 	"testing"
+
+	"repro/internal/runner"
+	"repro/internal/sim"
 )
 
 // The experiment drivers run at Quick scale in tests; the assertions check
@@ -417,5 +420,63 @@ func TestTLBSweepMonotone(t *testing.T) {
 			}
 			prev = cur
 		}
+	}
+}
+
+// TestParallelDeterminism is the engine's core contract (DESIGN.md §5): the
+// rendered table and CSV for any worker count must be byte-identical to the
+// sequential run. Figure 9 exercises the full (workload × policy) grid with
+// baseline-relative rows, the shape most sensitive to result ordering.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment driver")
+	}
+	seq := Quick()
+	seq.Parallelism = 1
+	runner.ResetCache()
+	t1 := Figure9(seq)
+
+	par := Quick()
+	par.Parallelism = 8
+	runner.ResetCache()
+	t2 := Figure9(par)
+	runner.ResetCache()
+
+	if t1.String() != t2.String() {
+		t.Errorf("text output differs between -parallel 1 and -parallel 8:\n--- sequential ---\n%s\n--- parallel ---\n%s", t1, t2)
+	}
+	if t1.CSV() != t2.CSV() {
+		t.Errorf("CSV output differs between -parallel 1 and -parallel 8")
+	}
+}
+
+// TestSeedZeroAliasesDefault documents the Seed==0 behavior: 0 means "unset"
+// and resolves to sim.DefaultSeed, so Settings{Seed: 0} and
+// Settings{Seed: sim.DefaultSeed} are the same experiment. cmd/experiments
+// rejects -seed 0 so the alias can't be mistaken for a distinct run.
+func TestSeedZeroAliasesDefault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment driver")
+	}
+	zero := Quick()
+	zero.Seed = 0
+	runner.ResetCache()
+	t0 := Table5(zero)
+
+	def := Quick()
+	def.Seed = sim.DefaultSeed
+	// Same resolved config: the memo cache should serve every run of the
+	// second table from the first table's entries.
+	before := runner.Cache()
+	t1 := Table5(def)
+	after := runner.Cache()
+	runner.ResetCache()
+
+	if t0.CSV() != t1.CSV() {
+		t.Errorf("Seed 0 and Seed %d produced different tables", sim.DefaultSeed)
+	}
+	if after.Misses != before.Misses {
+		t.Errorf("Seed %d re-ran %d sims after the Seed 0 run: defaulting is not unified",
+			sim.DefaultSeed, after.Misses-before.Misses)
 	}
 }

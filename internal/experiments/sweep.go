@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tlb"
@@ -32,9 +33,12 @@ func TLBSweep(s Settings) *stats.Table {
 		{64, tlb.Geometry{Sets: 16, Ways: 4}},
 		{1024, tlb.Geometry{Sets: 128, Ways: 8}}, // Ice Lake-class
 	}
+	var jobs []runner.Job
 	for _, w := range workload.Sensitive() {
+		// All four capacities' rows are emitted together once the last
+		// completes, preserving the sequential row order (workload-major).
 		base := make(map[int]*sim.Result)
-		for _, c := range capacities {
+		for i, c := range capacities {
 			cfg := s.config(w, sim.PolicyTrident)
 			tcfg := tlb.Skylake()
 			if s.TLB != nil {
@@ -42,16 +46,22 @@ func TLBSweep(s Settings) *stats.Table {
 			}
 			tcfg.L2Huge = c.geom
 			cfg.TLB = &tcfg
-			res := mustRun(cfg)
-			base[c.entries] = res
-		}
-		ref := base[16]
-		for _, c := range capacities {
-			res := base[c.entries]
-			t.AddRow(w.Name, c.entries,
-				res.Perf.WalkCycleFraction,
-				ratio(ref.Perf.CyclesPerAccess, res.Perf.CyclesPerAccess))
+			last := i == len(capacities)-1
+			jobs = append(jobs, runner.Sim(cfg, func(res *sim.Result) {
+				base[c.entries] = res
+				if !last {
+					return
+				}
+				ref := base[16]
+				for _, cc := range capacities {
+					r := base[cc.entries]
+					t.AddRow(w.Name, cc.entries,
+						r.Perf.WalkCycleFraction,
+						ratio(ref.Perf.CyclesPerAccess, r.Perf.CyclesPerAccess))
+				}
+			}))
 		}
 	}
+	s.run(jobs)
 	return t
 }

@@ -1,0 +1,268 @@
+// Package runner is the parallel experiment engine behind every driver in
+// internal/experiments. Each simulated configuration is deterministic and
+// fully independent (seeded xrand, no shared state, no wall clock —
+// DESIGN.md §5), which makes a figure's (workload × policy) grid
+// embarrassingly parallel. Drivers stop looping over sim.Run and instead
+// emit a flat []Job; Execute fans the jobs out over a worker pool and then
+// delivers the results strictly in submission order, so every table a
+// driver builds is byte-identical to the sequential run for any worker
+// count.
+//
+// On top of the pool sits a process-wide memo cache keyed by a canonical
+// fingerprint of the full sim.Config. The same configuration recurs across
+// figures — the THP and Trident grids are shared by Figures 9–11, and the
+// access-clamped fragmented Trident runs by Figure 7 and Tables 3–4 — so an
+// "all experiments" run computes each unique config exactly once and serves
+// every recurrence from the cache.
+// Duplicate configs submitted concurrently are collapsed too: the first
+// worker computes, the rest wait (single-flight).
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sim"
+	"repro/internal/tlb"
+	"repro/internal/workload"
+)
+
+// Job is one unit of concurrent work. Exactly one of the two forms is used:
+//
+//   - a simulator job (Cfg + Build), constructed with Sim: the pool executes
+//     sim.Run(Cfg) — memoized — and Build receives the result;
+//   - a function job (Run + Commit), constructed with Func: the pool executes
+//     Run (not memoized) and Commit receives its return value. This form
+//     carries drivers whose work is not a sim.Config grid (timeline scans,
+//     microbenchmarks).
+//
+// Build/Commit callbacks are invoked on the submitting goroutine in
+// submission order after all concurrent work completes, so they may append
+// to shared tables and reference results of earlier jobs (e.g. a THP
+// baseline row) without synchronization.
+type Job struct {
+	Cfg   sim.Config
+	Build func(*sim.Result)
+
+	Run    func() any
+	Commit func(any)
+}
+
+// Sim returns a memoized simulator job.
+func Sim(cfg sim.Config, build func(*sim.Result)) Job {
+	return Job{Cfg: cfg, Build: build}
+}
+
+// Func returns a non-memoized function job.
+func Func(run func() any, commit func(any)) Job {
+	return Job{Run: run, Commit: commit}
+}
+
+// Options tunes one Execute call.
+type Options struct {
+	// Parallelism is the worker-pool size; <= 0 means GOMAXPROCS.
+	Parallelism int
+	// NoCache bypasses the process-wide memo cache (benchmarks measuring
+	// raw engine throughput use this).
+	NoCache bool
+}
+
+// Execute runs jobs concurrently on a worker pool and then invokes each
+// job's Build/Commit callback in submission order. A job whose sim.Run
+// returns an error, or whose function panics, re-raises on the calling
+// goroutine — also in submission order, so the first failing job by
+// submission index wins regardless of scheduling.
+func Execute(jobs []Job, opts Options) {
+	if len(jobs) == 0 {
+		return
+	}
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	outs := make([]any, len(jobs))
+	errs := make([]error, len(jobs))
+	panics := make([]any, len(jobs))
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				runJob(&jobs[i], &outs[i], &errs[i], &panics[i], opts.NoCache)
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i := range jobs {
+		if panics[i] != nil {
+			panic(panics[i])
+		}
+		if errs[i] != nil {
+			j := &jobs[i]
+			name := "?"
+			if j.Cfg.Workload != nil {
+				name = j.Cfg.Workload.Name
+			}
+			panic(fmt.Sprintf("runner: %s/%v: %v", name, j.Cfg.Policy, errs[i]))
+		}
+		switch j := &jobs[i]; {
+		case j.Run != nil:
+			if j.Commit != nil {
+				j.Commit(outs[i])
+			}
+		default:
+			if j.Build != nil {
+				j.Build(outs[i].(*sim.Result))
+			}
+		}
+	}
+}
+
+func runJob(j *Job, out *any, err *error, panicked *any, noCache bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			*panicked = p
+		}
+	}()
+	if j.Run != nil {
+		*out = j.Run()
+		return
+	}
+	res, e := cachedRun(j.Cfg, noCache)
+	*out, *err = res, e
+}
+
+// cacheKey is the canonical, comparable fingerprint of a normalized
+// sim.Config. The Workload spec and TLB geometry are embedded by value, so
+// distinct pointers to equal specs (workload.All allocates fresh specs per
+// call) still hit. A reflection guard in runner_test.go pins sim.Config's
+// field count: adding a Config field without extending this key fails tests.
+type cacheKey struct {
+	workload             workload.Spec
+	tlb                  tlb.Config
+	policy               sim.PolicyKind
+	memGB                uint64
+	scale                float64
+	accesses             int
+	seed                 uint64
+	fragment             bool
+	disablePromotion     bool
+	virtualized          bool
+	hostPolicy           sim.PolicyKind
+	khugepagedBudgetFrac float64
+	pv                   bool
+	pvUnbatched          bool
+}
+
+func keyOf(cfg sim.Config) cacheKey {
+	cfg = cfg.Normalized()
+	return cacheKey{
+		workload:             *cfg.Workload,
+		tlb:                  *cfg.TLB,
+		policy:               cfg.Policy,
+		memGB:                cfg.MemGB,
+		scale:                cfg.Scale,
+		accesses:             cfg.Accesses,
+		seed:                 cfg.Seed,
+		fragment:             cfg.Fragment,
+		disablePromotion:     cfg.DisablePromotion,
+		virtualized:          cfg.Virtualized,
+		hostPolicy:           cfg.HostPolicy,
+		khugepagedBudgetFrac: cfg.KhugepagedBudgetFrac,
+		pv:                   cfg.Pv,
+		pvUnbatched:          cfg.PvUnbatched,
+	}
+}
+
+// entry is one single-flight cache slot: the first arrival computes under
+// once; latecomers block on once.Do and read the stored outcome.
+type entry struct {
+	once     sync.Once
+	res      *sim.Result
+	err      error
+	panicked any
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[cacheKey]*entry{}
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+)
+
+// cachedRun executes cfg through the memo cache. Results are shared across
+// callers and must be treated as immutable (sim.Result is plain measured
+// data; drivers only read it).
+func cachedRun(cfg sim.Config, noCache bool) (*sim.Result, error) {
+	if noCache || cfg.Workload == nil {
+		return sim.Run(cfg)
+	}
+	key := keyOf(cfg)
+	cacheMu.Lock()
+	e, ok := cache[key]
+	if !ok {
+		e = &entry{}
+		cache[key] = e
+	}
+	cacheMu.Unlock()
+
+	first := false
+	e.once.Do(func() {
+		first = true
+		misses.Add(1)
+		defer func() {
+			if p := recover(); p != nil {
+				e.panicked = p
+			}
+		}()
+		e.res, e.err = sim.Run(cfg)
+	})
+	if !first {
+		hits.Add(1)
+	}
+	if e.panicked != nil {
+		panic(e.panicked)
+	}
+	return e.res, e.err
+}
+
+// CacheStats reports the memo cache's cumulative activity. Misses count
+// actual sim.Run executions through the cache; hits count runs served from
+// (or collapsed into) an existing entry.
+type CacheStats struct {
+	Hits, Misses uint64
+	Entries      int
+}
+
+// Cache returns a snapshot of the memo-cache counters.
+func Cache() CacheStats {
+	cacheMu.Lock()
+	n := len(cache)
+	cacheMu.Unlock()
+	return CacheStats{Hits: hits.Load(), Misses: misses.Load(), Entries: n}
+}
+
+// ResetCache drops all memoized results and zeroes the counters. Tests use
+// it to isolate cache observations; long-lived processes can use it to bound
+// memory.
+func ResetCache() {
+	cacheMu.Lock()
+	cache = map[cacheKey]*entry{}
+	cacheMu.Unlock()
+	hits.Store(0)
+	misses.Store(0)
+}

@@ -1,0 +1,207 @@
+package runner
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/tlb"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// tinyTLB mirrors the shrunken geometry sim's own tests use, so a cached run
+// costs milliseconds rather than seconds.
+func tinyTLB() *tlb.Config {
+	return &tlb.Config{
+		L1: [units.NumPageSizes]tlb.Geometry{
+			units.Size4K: {Sets: 2, Ways: 2},
+			units.Size2M: {Sets: 1, Ways: 2},
+			units.Size1G: {Sets: 1, Ways: 2},
+		},
+		L2Shared: tlb.Geometry{Sets: 16, Ways: 6},
+		L2Huge:   tlb.Geometry{Sets: 1, Ways: 4},
+		PWC: [3]tlb.Geometry{
+			{Sets: 1, Ways: 4},
+			{Sets: 1, Ways: 2},
+			{Sets: 1, Ways: 2},
+		},
+	}
+}
+
+func tinyConfig(t *testing.T) sim.Config {
+	t.Helper()
+	spec, ok := workload.ByName("GUPS")
+	if !ok {
+		t.Fatal("unknown workload GUPS")
+	}
+	return sim.Config{
+		Workload: spec,
+		Policy:   sim.PolicyTHP,
+		MemGB:    8,
+		Scale:    0.25,
+		Accesses: 30_000,
+		Seed:     3,
+		TLB:      tinyTLB(),
+	}
+}
+
+// TestMemoCacheSingleExecution: submitting the same config twice — across two
+// Execute calls, as figures sharing a config do — must run sim.Run exactly
+// once. The miss counter counts actual executions through the cache.
+func TestMemoCacheSingleExecution(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	cfg := tinyConfig(t)
+
+	var first, second *sim.Result
+	Execute([]Job{Sim(cfg, func(r *sim.Result) { first = r })}, Options{Parallelism: 2})
+	Execute([]Job{Sim(cfg, func(r *sim.Result) { second = r })}, Options{Parallelism: 2})
+
+	cs := Cache()
+	if cs.Misses != 1 || cs.Hits != 1 {
+		t.Fatalf("got %d misses / %d hits, want 1 / 1 (repeated config must run once)", cs.Misses, cs.Hits)
+	}
+	if first == nil || first != second {
+		t.Fatalf("cache hit must return the same *sim.Result (got %p, %p)", first, second)
+	}
+}
+
+// TestMemoCacheNormalizesDefaults: an explicit config and one relying on
+// defaults must share a cache entry when they resolve identically, and the
+// key embeds the workload spec by value so fresh pointers to equal specs hit.
+func TestMemoCacheNormalizesDefaults(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	cfg := tinyConfig(t)
+	cfg.Seed = 0 // defaults to sim.DefaultSeed
+
+	explicit := tinyConfig(t)
+	explicit.Seed = sim.DefaultSeed
+	spec := *explicit.Workload // fresh pointer, equal value
+	explicit.Workload = &spec
+
+	Execute([]Job{
+		Sim(cfg, nil),
+		Sim(explicit, nil),
+	}, Options{Parallelism: 1})
+
+	cs := Cache()
+	if cs.Misses != 1 || cs.Hits != 1 {
+		t.Fatalf("got %d misses / %d hits, want 1 / 1 (normalized configs must share an entry)", cs.Misses, cs.Hits)
+	}
+}
+
+// TestNoCacheBypass: Options.NoCache must execute every job without touching
+// the cache counters.
+func TestNoCacheBypass(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	cfg := tinyConfig(t)
+	jobs := []Job{Sim(cfg, nil), Sim(cfg, nil)}
+	Execute(jobs, Options{Parallelism: 2, NoCache: true})
+	cs := Cache()
+	if cs.Misses != 0 || cs.Hits != 0 || cs.Entries != 0 {
+		t.Fatalf("NoCache run touched the cache: %+v", cs)
+	}
+}
+
+// TestSubmissionOrderCallbacks: callbacks must arrive in submission order for
+// any worker count, even when earlier jobs finish last.
+func TestSubmissionOrderCallbacks(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		var running atomic.Int64
+		var order []int
+		var jobs []Job
+		const n = 32
+		for i := 0; i < n; i++ {
+			i := i
+			jobs = append(jobs, Func(func() any {
+				// Spin until at least one other worker is active when
+				// possible, perturbing completion order.
+				running.Add(1)
+				for j := 0; j < (n-i)*1000; j++ {
+					_ = j
+				}
+				return i * i
+			}, func(v any) {
+				order = append(order, v.(int))
+			}))
+		}
+		Execute(jobs, Options{Parallelism: workers})
+		for i := 0; i < n; i++ {
+			if order[i] != i*i {
+				t.Fatalf("parallelism %d: commit %d got %d, want %d", workers, i, order[i], i*i)
+			}
+		}
+	}
+}
+
+// TestPanicSubmissionOrder: when several jobs fail, the panic that surfaces
+// must be the first failing job by submission index, not by completion time.
+func TestPanicSubmissionOrder(t *testing.T) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("expected a panic")
+		}
+		if s, ok := p.(string); !ok || !strings.Contains(s, "job 3") {
+			t.Fatalf("expected the lowest-index failure (job 3), got %v", p)
+		}
+	}()
+	var jobs []Job
+	for i := 0; i < 8; i++ {
+		i := i
+		jobs = append(jobs, Func(func() any {
+			if i >= 3 {
+				panic(fmt.Sprintf("job %d failed", i))
+			}
+			return nil
+		}, nil))
+	}
+	Execute(jobs, Options{Parallelism: 8})
+}
+
+// TestConfigFieldCountGuard pins sim.Config's field count. cacheKey must
+// fingerprint every field of sim.Config; if this fails, a field was added to
+// sim.Config without extending keyOf (which would silently alias distinct
+// configs in the memo cache). Update keyOf, then this count.
+func TestConfigFieldCountGuard(t *testing.T) {
+	const knownFields = 14
+	if n := reflect.TypeOf(sim.Config{}).NumField(); n != knownFields {
+		t.Fatalf("sim.Config has %d fields, cacheKey covers %d: extend runner.keyOf for the new field(s), then bump this constant", n, knownFields)
+	}
+	if n := reflect.TypeOf(cacheKey{}).NumField(); n != knownFields {
+		t.Fatalf("cacheKey has %d fields, want %d (one per sim.Config field)", n, knownFields)
+	}
+}
+
+// TestConcurrentDuplicateSingleFlight: duplicate configs inside ONE Execute
+// call must collapse to a single sim.Run via the entry's once.
+func TestConcurrentDuplicateSingleFlight(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	cfg := tinyConfig(t)
+	var jobs []Job
+	var got [8]*sim.Result
+	for i := 0; i < 8; i++ {
+		i := i
+		jobs = append(jobs, Sim(cfg, func(r *sim.Result) { got[i] = r }))
+	}
+	Execute(jobs, Options{Parallelism: 8})
+	cs := Cache()
+	if cs.Misses != 1 {
+		t.Fatalf("8 concurrent duplicates ran sim.Run %d times, want 1", cs.Misses)
+	}
+	if cs.Hits != 7 {
+		t.Fatalf("got %d hits, want 7", cs.Hits)
+	}
+	for i := 1; i < 8; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("job %d received a different result pointer", i)
+		}
+	}
+}

@@ -78,6 +78,26 @@ func (p PolicyKind) String() string {
 // minutes; daemon work amortizes over that, not over the sampled window).
 const RefRuntimeNs = 300e9 // 5 minutes
 
+// Defaults applied to zero-valued Config fields. These are the single source
+// of truth for experiment-scale defaulting: the experiments package derives
+// its Settings defaults from them rather than duplicating the values.
+const (
+	// DefaultMemGB is the simulated machine size (the paper's 384GB testbed
+	// scaled with the ÷10 footprints, rounded up to whole 1GB regions).
+	DefaultMemGB = 32
+	// DefaultScale multiplies workload footprints.
+	DefaultScale = 1.0
+	// DefaultAccesses is the sampled reference-stream length.
+	DefaultAccesses = 2_000_000
+	// DefaultSeed seeds all randomness. Seed 0 is reserved as "unset": a
+	// zero-value Config must be runnable, so Seed == 0 is remapped to
+	// DefaultSeed. Front-ends that accept user seeds should reject 0
+	// explicitly instead of letting it silently alias seed 1 (cmd/experiments
+	// does). This remapping is part of the determinism contract and is
+	// covered by tests.
+	DefaultSeed = 1
+)
+
 // Config describes one run.
 type Config struct {
 	Workload *workload.Spec
@@ -121,17 +141,26 @@ func (c *Config) setDefaults() {
 		c.TLB = &cfg
 	}
 	if c.MemGB == 0 {
-		c.MemGB = 32
+		c.MemGB = DefaultMemGB
 	}
 	if c.Scale == 0 {
-		c.Scale = 1
+		c.Scale = DefaultScale
 	}
 	if c.Accesses == 0 {
-		c.Accesses = 2_000_000
+		c.Accesses = DefaultAccesses
 	}
 	if c.Seed == 0 {
-		c.Seed = 1
+		c.Seed = DefaultSeed
 	}
+}
+
+// Normalized returns a copy of c with every defaulted field resolved to its
+// concrete value (the same resolution Run performs), so two configs that
+// would execute identically compare identically. The runner package's memo
+// cache keys on normalized configs.
+func (c Config) Normalized() Config {
+	c.setDefaults()
+	return c
 }
 
 // Result is everything a run measures.

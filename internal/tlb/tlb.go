@@ -20,16 +20,31 @@ import (
 )
 
 // TLB is one set-associative translation buffer with true-LRU replacement.
+//
+// The probe loop is the simulator's hottest code (every sampled reference
+// probes up to four TLBs plus the paging-structure caches), so the storage
+// is a single flat slice — one bounds-checked indexation per set, ways
+// contiguous in one cache line — and invalid ways are encoded as a reserved
+// tag value instead of a parallel bool slice.
 type TLB struct {
 	name string
 	sets int
 	ways int
-	// lines[set] is ordered most-recently-used first.
-	lines  [][]uint64
-	valid  [][]bool
+	// mask is sets-1 when sets is a power of two (the common case; set
+	// selection becomes an AND), otherwise 0 and selection falls back to
+	// modulo.
+	mask uint64
+	// lines holds sets×ways entries; within a set, most-recently-used
+	// first. invalidTag marks empty ways.
+	lines  []uint64
 	hits   uint64
 	misses uint64
 }
+
+// invalidTag marks an empty way. No real tag collides with it: composed
+// tags (see tag()) carry a nonzero size salt in bits 60+ below bit 63, and
+// PWC tags are right-shifted VAs well below 2^48.
+const invalidTag = ^uint64(0)
 
 // NewTLB creates a TLB with the given geometry. entries = sets*ways.
 func NewTLB(name string, sets, ways int) *TLB {
@@ -37,11 +52,12 @@ func NewTLB(name string, sets, ways int) *TLB {
 		panic(fmt.Sprintf("tlb: invalid geometry %dx%d", sets, ways))
 	}
 	t := &TLB{name: name, sets: sets, ways: ways}
-	t.lines = make([][]uint64, sets)
-	t.valid = make([][]bool, sets)
+	if sets&(sets-1) == 0 {
+		t.mask = uint64(sets - 1)
+	}
+	t.lines = make([]uint64, sets*ways)
 	for i := range t.lines {
-		t.lines[i] = make([]uint64, ways)
-		t.valid[i] = make([]bool, ways)
+		t.lines[i] = invalidTag
 	}
 	return t
 }
@@ -49,15 +65,25 @@ func NewTLB(name string, sets, ways int) *TLB {
 // Entries returns the total capacity.
 func (t *TLB) Entries() int { return t.sets * t.ways }
 
-func (t *TLB) set(tag uint64) int { return int(tag % uint64(t.sets)) }
+// base returns the flat-slice offset of tag's set.
+func (t *TLB) base(tag uint64) int {
+	if t.mask != 0 {
+		return int(tag&t.mask) * t.ways
+	}
+	return int(tag%uint64(t.sets)) * t.ways
+}
 
 // Lookup probes for tag, promoting it to MRU on a hit and recording
 // hit/miss statistics.
 func (t *TLB) Lookup(tag uint64) bool {
-	s := t.set(tag)
-	for w := 0; w < t.ways; w++ {
-		if t.valid[s][w] && t.lines[s][w] == tag {
-			t.touch(s, w)
+	b := t.base(tag)
+	set := t.lines[b : b+t.ways]
+	for w, line := range set {
+		if line == tag {
+			if w > 0 {
+				copy(set[1:w+1], set[:w])
+				set[0] = tag
+			}
 			t.hits++
 			return true
 		}
@@ -68,9 +94,9 @@ func (t *TLB) Lookup(tag uint64) bool {
 
 // Probe checks for tag without updating LRU state or statistics.
 func (t *TLB) Probe(tag uint64) bool {
-	s := t.set(tag)
-	for w := 0; w < t.ways; w++ {
-		if t.valid[s][w] && t.lines[s][w] == tag {
+	b := t.base(tag)
+	for _, line := range t.lines[b : b+t.ways] {
+		if line == tag {
 			return true
 		}
 	}
@@ -79,35 +105,38 @@ func (t *TLB) Probe(tag uint64) bool {
 
 // Insert installs tag as MRU of its set, evicting the LRU way if needed.
 func (t *TLB) Insert(tag uint64) {
-	s := t.set(tag)
-	// Already present? Just promote.
-	for w := 0; w < t.ways; w++ {
-		if t.valid[s][w] && t.lines[s][w] == tag {
-			t.touch(s, w)
+	b := t.base(tag)
+	set := t.lines[b : b+t.ways]
+	// Already present? Just promote. (This scan must complete before the
+	// empty-way scan below: an invalidated way at a lower index than the
+	// existing entry must not cause a duplicate insertion.)
+	for w, line := range set {
+		if line == tag {
+			copy(set[1:w+1], set[:w])
+			set[0] = tag
 			return
 		}
 	}
 	// Fill an invalidated way if one exists; otherwise the LRU way (last)
 	// falls out. Either way the new entry becomes MRU.
 	slot := t.ways - 1
-	for w := 0; w < t.ways; w++ {
-		if !t.valid[s][w] {
+	for w, line := range set {
+		if line == invalidTag {
 			slot = w
 			break
 		}
 	}
-	copy(t.lines[s][1:slot+1], t.lines[s][:slot])
-	copy(t.valid[s][1:slot+1], t.valid[s][:slot])
-	t.lines[s][0] = tag
-	t.valid[s][0] = true
+	copy(set[1:slot+1], set[:slot])
+	set[0] = tag
 }
 
 // Invalidate removes tag if present.
 func (t *TLB) Invalidate(tag uint64) {
-	s := t.set(tag)
-	for w := 0; w < t.ways; w++ {
-		if t.valid[s][w] && t.lines[s][w] == tag {
-			t.valid[s][w] = false
+	b := t.base(tag)
+	set := t.lines[b : b+t.ways]
+	for w, line := range set {
+		if line == tag {
+			set[w] = invalidTag
 			return
 		}
 	}
@@ -115,10 +144,8 @@ func (t *TLB) Invalidate(tag uint64) {
 
 // Flush invalidates every entry.
 func (t *TLB) Flush() {
-	for s := range t.valid {
-		for w := range t.valid[s] {
-			t.valid[s][w] = false
-		}
+	for i := range t.lines {
+		t.lines[i] = invalidTag
 	}
 }
 
@@ -127,14 +154,6 @@ func (t *TLB) Stats() (hits, misses uint64) { return t.hits, t.misses }
 
 // ResetStats zeroes the hit/miss counters without touching contents.
 func (t *TLB) ResetStats() { t.hits, t.misses = 0, 0 }
-
-func (t *TLB) touch(s, w int) {
-	tag := t.lines[s][w]
-	copy(t.lines[s][1:w+1], t.lines[s][:w])
-	copy(t.valid[s][1:w+1], t.valid[s][:w])
-	t.lines[s][0] = tag
-	t.valid[s][0] = true
-}
 
 // Geometry describes one TLB's shape.
 type Geometry struct {
@@ -215,7 +234,7 @@ func NewHierarchy(cfg Config) *Hierarchy {
 // sharing the L2 cannot alias while set indexing still uses the VPN's low
 // bits (set counts are powers of two).
 func tag(va uint64, size units.PageSize) uint64 {
-	return (va / size.Bytes()) | uint64(size+1)<<60
+	return (va >> size.Shift()) | uint64(size+1)<<60
 }
 
 // Access translates one reference to a page of known size, updating TLB

@@ -79,6 +79,20 @@ func (s PageSize) Order() int {
 // Frames returns the number of 4KB frames covered by one page of size s.
 func (s PageSize) Frames() uint64 { return s.Bytes() / Page4K }
 
+// Shift returns log2 of the size in bytes (12/21/30), so hot paths can
+// replace division by Bytes() with a right shift.
+func (s PageSize) Shift() uint {
+	switch s {
+	case Size4K:
+		return 12
+	case Size2M:
+		return 21
+	case Size1G:
+		return 30
+	}
+	panic(fmt.Sprintf("units: invalid page size %d", int(s)))
+}
+
 // String implements fmt.Stringer.
 func (s PageSize) String() string {
 	switch s {
