@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench verify clean
+.PHONY: all build vet test race bench benchcheck verify clean
 
 all: build
 
@@ -17,14 +17,23 @@ test:
 	$(GO) test ./...
 
 # The runner package is the only concurrency in the tree (stats tables are
-# its shared sink), so those two get the race detector on every verify.
+# its shared sink), so those two get the race detector on every verify —
+# plus the shadow-coherence tests, which hammer the TLB fast path's flush
+# discipline from parallel subtests.
 race:
 	$(GO) test -race ./internal/runner ./internal/stats
+	$(GO) test -race -run 'TestShadowCoherence' ./internal/sim
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime 1x .
 
-verify: build vet test race
+# Bench-rot gate: compile and run every benchmark in the tree exactly once
+# (no test functions: -run matches nothing). Catches benchmarks broken by
+# API drift without paying for real measurement.
+benchcheck:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
+
+verify: build vet test race benchcheck
 
 clean:
 	rm -rf report

@@ -14,9 +14,14 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/mmu"
+	"repro/internal/pagetable"
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/tlb"
+	"repro/internal/units"
 	"repro/internal/workload"
+	"repro/internal/xrand"
 )
 
 func benchExperiment(b *testing.B, run func(Settings) *Table, minRows int) {
@@ -31,6 +36,28 @@ func benchExperiment(b *testing.B, run func(Settings) *Table, minRows int) {
 		t := run(s)
 		if t.NumRows() < minRows {
 			b.Fatalf("experiment produced %d rows, want >= %d", t.NumRows(), minRows)
+		}
+	}
+}
+
+// BenchmarkTranslateHotLoop measures the translation hot loop in isolation:
+// random references over a 2MB-mapped GB through a Skylake MMU. With the hot
+// set far past the TLB's reach shrunk away (it fits), almost every iteration
+// is a TLB-first fast-path hit — the case PR 2 optimizes.
+func BenchmarkTranslateHotLoop(b *testing.B) {
+	pt := pagetable.New()
+	for va := uint64(0); va < units.Page1G; va += units.Page2M {
+		if err := pt.Map(va, va/units.Page4K, units.Size2M); err != nil {
+			b.Fatal(err)
+		}
+	}
+	m := mmu.New(tlb.Skylake())
+	rng := xrand.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !m.Translate(pt, rng.Uint64n(units.Page1G), false) {
+			b.Fatal("fault on a fully mapped region")
 		}
 	}
 }

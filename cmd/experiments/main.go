@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +23,27 @@ import (
 	trident "repro"
 	"repro/internal/runner"
 )
+
+// perfRecord is one experiment's wall-time and memo-cache activity, written
+// to perf.json in the report directory. The file is diagnostic (wall times
+// vary run to run); the CSVs remain the only deterministic artifacts.
+type perfRecord struct {
+	Key        string  `json:"key"`
+	Name       string  `json:"name"`
+	WallMillis float64 `json:"wall_ms"`
+	CacheHits  uint64  `json:"cache_hits"`
+	CacheMiss  uint64  `json:"cache_misses"`
+}
+
+// perfSummary is the whole run: per-experiment records plus totals.
+type perfSummary struct {
+	Workers      int          `json:"workers"`
+	WallMillis   float64      `json:"wall_ms"`
+	UniqueSims   uint64       `json:"unique_simulations"`
+	CacheHits    uint64       `json:"cache_hits"`
+	CacheEntries int          `json:"cache_entries"`
+	Experiments  []perfRecord `json:"experiments"`
+}
 
 type experiment struct {
 	key  string
@@ -126,7 +148,7 @@ func run() error {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	totalStart := time.Now()
-	ran := 0
+	var records []perfRecord
 	for _, e := range all {
 		if len(selected) > 0 && !selected[e.key] {
 			continue
@@ -143,11 +165,35 @@ func run() error {
 		}
 		fmt.Printf("-> %s (%s, cache %d hit / %d miss)\n\n",
 			path, elapsed, after.Hits-before.Hits, after.Misses-before.Misses)
-		ran++
+		records = append(records, perfRecord{
+			Key:        e.key,
+			Name:       e.name,
+			WallMillis: float64(elapsed) / float64(time.Millisecond),
+			CacheHits:  after.Hits - before.Hits,
+			CacheMiss:  after.Misses - before.Misses,
+		})
 	}
 	cs := runner.Cache()
+	totalElapsed := time.Since(totalStart).Round(time.Millisecond)
 	fmt.Printf("ran %d experiment(s) in %s with %d worker(s): %d unique simulation(s), %d cache hit(s)\n",
-		ran, time.Since(totalStart).Round(time.Millisecond), workers, cs.Misses, cs.Hits)
+		len(records), totalElapsed, workers, cs.Misses, cs.Hits)
+
+	summary := perfSummary{
+		Workers:      workers,
+		WallMillis:   float64(totalElapsed) / float64(time.Millisecond),
+		UniqueSims:   cs.Misses,
+		CacheHits:    cs.Hits,
+		CacheEntries: cs.Entries,
+		Experiments:  records,
+	}
+	buf, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		return err
+	}
+	perfPath := filepath.Join(*out, "perf.json")
+	if err := os.WriteFile(perfPath, append(buf, '\n'), 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", perfPath, err)
+	}
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)

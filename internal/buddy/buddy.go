@@ -40,6 +40,11 @@ type Allocator struct {
 
 	// counts are the live free-chunk counts per order.
 	counts []uint64
+
+	// covered is CheckInvariants's reusable coverage bitset (one bit per
+	// frame), allocated once and cleared per call; the map it replaced
+	// allocated per invocation on every fragmentation snapshot.
+	covered []uint64
 }
 
 // New creates an allocator over mem with free lists up to maxOrder
@@ -245,7 +250,11 @@ func (a *Allocator) removeFree(pfn uint64, order int) {
 // matches phys.Memory. It returns an error describing the first violation.
 func (a *Allocator) CheckInvariants() error {
 	var freeFrames uint64
-	covered := make(map[uint64]bool)
+	if a.covered == nil {
+		a.covered = make([]uint64, (a.mem.Frames()+63)/64)
+	} else {
+		clear(a.covered)
+	}
 	for order := 0; order <= a.maxOrder; order++ {
 		heads := a.FreeChunkHeads(order)
 		if uint64(len(heads)) != a.counts[order] {
@@ -257,10 +266,10 @@ func (a *Allocator) CheckInvariants() error {
 				return fmt.Errorf("order %d chunk at %d misaligned", order, pfn)
 			}
 			for f := pfn; f < pfn+size; f++ {
-				if covered[f] {
+				if a.covered[f/64]&(1<<(f%64)) != 0 {
 					return fmt.Errorf("frame %d covered by two free chunks", f)
 				}
-				covered[f] = true
+				a.covered[f/64] |= 1 << (f % 64)
 				if a.mem.IsAllocated(f) {
 					return fmt.Errorf("frame %d free in buddy but allocated in phys", f)
 				}

@@ -63,7 +63,7 @@ func Figure3(s Settings) *stats.Table {
 			return rows
 		}, commitRows(t)))
 	}
-	s.run(jobs)
+	s.run("figure3", jobs)
 	return t
 }
 
@@ -158,7 +158,7 @@ func Figure4(s Settings) *stats.Table {
 			return rows
 		}, commitRows(t)))
 	}
-	s.run(jobs)
+	s.run("figure4", jobs)
 	return t
 }
 
@@ -205,7 +205,7 @@ func FaultLatency(s Settings) *stats.Table {
 		rows = append(rows, row{"2MB fault", r3.LatencyNs / 1e6, 0.85})
 		return rows
 	}, commitRows(t))}
-	s.run(jobs)
+	s.run("fault_latency", jobs)
 	return t
 }
 
@@ -258,7 +258,7 @@ func PvLatency(s Settings) *stats.Table {
 			return []row{{c.label, run(c.move) / 1e6, c.paperMs}}
 		}, commitRows(t)))
 	}
-	s.run(jobs)
+	s.run("pv_latency", jobs)
 	return t
 }
 
@@ -310,6 +310,6 @@ func DirectMap(s Settings) *stats.Table {
 			return []row{{osw, "1GB", perf}}
 		}, commitRows(t)))
 	}
-	s.run(jobs)
+	s.run("direct_map", jobs)
 	return t
 }

@@ -107,9 +107,12 @@ func (s Settings) config(w *workload.Spec, p sim.PolicyKind) sim.Config {
 	}
 }
 
-// run executes jobs on the shared engine, honoring s.Parallelism.
-func (s Settings) run(jobs []runner.Job) {
-	runner.Execute(jobs, runner.Options{Parallelism: s.Parallelism})
+// run executes jobs on the shared engine, honoring s.Parallelism. The label
+// names the experiment and is attached to every job as a pprof label, so CPU
+// profiles of a full run can be sliced per figure (and, via the per-job
+// workload/policy label the runner adds, per grid cell).
+func (s Settings) run(label string, jobs []runner.Job) {
+	runner.Execute(jobs, runner.Options{Parallelism: s.Parallelism, Label: label})
 }
 
 // gb renders bytes as a GB quantity with two decimals (Table 3's unit).
@@ -140,7 +143,7 @@ func Figure1(s Settings) *stats.Table {
 			}))
 		}
 	}
-	s.run(jobs)
+	s.run("figure1", jobs)
 	return t
 }
 
@@ -175,7 +178,7 @@ func Figure2(s Settings) *stats.Table {
 			}))
 		}
 	}
-	s.run(jobs)
+	s.run("figure2", jobs)
 	return t
 }
 
@@ -183,16 +186,16 @@ func Figure2(s Settings) *stats.Table {
 // 1GB-sensitive workloads with un-fragmented physical memory. Values are
 // normalized to THP.
 func Figure9(s Settings) *stats.Table {
-	return compareSystems(s, "Figure 9: performance under no fragmentation", false)
+	return compareSystems(s, "figure9", "Figure 9: performance under no fragmentation", false)
 }
 
 // Figure10 reproduces Figures 10a/10b: the same comparison with physical
 // memory fragmented per §3.
 func Figure10(s Settings) *stats.Table {
-	return compareSystems(s, "Figure 10: performance under fragmentation", true)
+	return compareSystems(s, "figure10", "Figure 10: performance under fragmentation", true)
 }
 
-func compareSystems(s Settings, title string, frag bool) *stats.Table {
+func compareSystems(s Settings, label, title string, frag bool) *stats.Table {
 	s = s.fill()
 	t := stats.NewTable(title,
 		"workload", "config", "perf_norm", "walk_frac_norm", "mapped_1g_gb", "mapped_2m_gb")
@@ -215,7 +218,7 @@ func compareSystems(s Settings, title string, frag bool) *stats.Table {
 			}))
 		}
 	}
-	s.run(jobs)
+	s.run(label, jobs)
 	return t
 }
 
@@ -246,7 +249,7 @@ func Figure11(s Settings) *stats.Table {
 			}
 		}
 	}
-	s.run(jobs)
+	s.run("figure11", jobs)
 	return t
 }
 
@@ -288,7 +291,7 @@ func Table3(s Settings) *stats.Table {
 			}
 		}
 	}
-	s.run(jobs)
+	s.run("table3", jobs)
 	return t
 }
 
@@ -331,7 +334,7 @@ func Figure7(s Settings) *stats.Table {
 			t.AddRow(w.Name, gb(normalBytes), gb(smartBytes), red)
 		}))
 	}
-	s.run(jobs)
+	s.run("figure7", jobs)
 	return t
 }
 
@@ -364,7 +367,7 @@ func Table4(s Settings) *stats.Table {
 			t.AddRow(w.Name, res.Fault.Attempts1G, faultPct, pa, promoPct)
 		}))
 	}
-	s.run(jobs)
+	s.run("table4", jobs)
 	return t
 }
 
@@ -387,7 +390,7 @@ func Table5(s Settings) *stats.Table {
 			}
 		}
 	}
-	s.run(jobs)
+	s.run("table5", jobs)
 	return t
 }
 
@@ -415,7 +418,7 @@ func Figure12(s Settings) *stats.Table {
 			}))
 		}
 	}
-	s.run(jobs)
+	s.run("figure12", jobs)
 	return t
 }
 
@@ -454,7 +457,7 @@ func Figure13(s Settings) *stats.Table {
 			}))
 		}
 	}
-	s.run(jobs)
+	s.run("figure13", jobs)
 	return t
 }
 

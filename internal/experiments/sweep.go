@@ -62,6 +62,6 @@ func TLBSweep(s Settings) *stats.Table {
 			}))
 		}
 	}
-	s.run(jobs)
+	s.run("tlb_sweep", jobs)
 	return t
 }

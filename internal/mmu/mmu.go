@@ -15,6 +15,8 @@
 package mmu
 
 import (
+	"fmt"
+
 	"repro/internal/pagetable"
 	"repro/internal/perfmodel"
 	"repro/internal/tlb"
@@ -35,6 +37,14 @@ type MMU struct {
 	// Faults counts references to unmapped addresses (the caller should
 	// fault and retry).
 	Faults uint64
+
+	// ShadowCheck is the test-only coherence mode: every TLB fast-path hit
+	// is cross-checked against the software page walk, and any divergence —
+	// a stale entry surviving a remap, or a probed page size that disagrees
+	// with the (effective) mapped size — panics. It exists to prove the
+	// flush discipline the fast path depends on (DESIGN.md §5a) and costs a
+	// full page-table walk per hit, so it must stay off outside tests.
+	ShadowCheck bool
 }
 
 // New creates a native-mode MMU with the given translation-cache config.
@@ -52,7 +62,27 @@ func NewNested(cfg tlb.Config) *MMU {
 
 // Translate performs one native reference. It returns false if va is
 // unmapped (a page fault the caller must service before retrying).
+//
+// The common case — the overwhelming majority of references in any sampled
+// stream — hits the TLB, and hardware never walks the page table on a TLB
+// hit. The software model mirrors that asymmetry: a VA-only TLB probe runs
+// first, and pagetable.Lookup is consulted only on a probe miss (or fault).
+// This is sound because every remap shoots the page down (kernel.Shootdown →
+// FlushPage), so between flushes TLB entries are authoritative; it is
+// bit-identical because the probed tag carries the page size, which is all
+// the hit path ever used from the mapping.
 func (m *MMU) Translate(pt *pagetable.Table, va uint64, write bool) bool {
+	if lvl, size, ok := m.TLB.Probe(va); ok {
+		if m.ShadowCheck {
+			m.shadowCheckNative(pt, va, size)
+		}
+		st := &m.BySize[size]
+		st.Accesses++
+		if lvl == tlb.HitL2 {
+			st.L2Hits++
+		}
+		return true
+	}
 	mapping, ok := pt.Lookup(va)
 	if !ok {
 		m.Faults++
@@ -74,12 +104,56 @@ func (m *MMU) Translate(pt *pagetable.Table, va uint64, write bool) bool {
 	return true
 }
 
+// shadowCheckNative verifies a native fast-path hit against the page table.
+func (m *MMU) shadowCheckNative(pt *pagetable.Table, va uint64, size units.PageSize) {
+	mapping, ok := pt.Lookup(va)
+	if !ok {
+		panic(fmt.Sprintf("mmu: shadow coherence: TLB hit at %#x (%v) but page is unmapped — stale entry survived a remap", va, size))
+	}
+	if mapping.Size != size {
+		panic(fmt.Sprintf("mmu: shadow coherence: TLB hit at %#x probed size %v but page table maps %v", va, size, mapping.Size))
+	}
+}
+
+// shadowCheckNested verifies a nested fast-path hit against both tables.
+func (m *MMU) shadowCheckNested(gpt, hpt *pagetable.Table, va uint64, eff units.PageSize) {
+	gm, ok := gpt.Lookup(va)
+	if !ok {
+		panic(fmt.Sprintf("mmu: shadow coherence: TLB hit at gVA %#x (%v) but guest page is unmapped — stale entry survived a remap", va, eff))
+	}
+	gpa := units.FrameAddr(gm.PFN) + (va - gm.VA)
+	hm, ok := hpt.Lookup(gpa)
+	if !ok {
+		panic(fmt.Sprintf("mmu: shadow coherence: gPA %#x of gVA %#x not backed by host mapping", gpa, va))
+	}
+	want := gm.Size
+	if hm.Size < want {
+		want = hm.Size
+	}
+	if want != eff {
+		panic(fmt.Sprintf("mmu: shadow coherence: TLB hit at gVA %#x probed size %v but effective mapped size is %v (guest %v, host %v)", va, eff, want, gm.Size, hm.Size))
+	}
+}
+
 // TranslateNested performs one reference in a VM: gVA→gPA through the guest
 // table, gPA→hPA through the host table. The TLB caches the combined
 // translation at the smaller of the two page sizes. It returns false on a
 // guest fault; a missing host mapping panics, because the hypervisor in
 // this simulator always backs guest memory.
 func (m *MMU) TranslateNested(gpt, hpt *pagetable.Table, va uint64, write bool) bool {
+	if lvl, eff, ok := m.TLB.Probe(va); ok {
+		// Combined gVA→hPA entries are tagged at the effective page size, so
+		// a hit recovers eff without touching either dimension's table.
+		if m.ShadowCheck {
+			m.shadowCheckNested(gpt, hpt, va, eff)
+		}
+		st := &m.BySize[eff]
+		st.Accesses++
+		if lvl == tlb.HitL2 {
+			st.L2Hits++
+		}
+		return true
+	}
 	gm, ok := gpt.Lookup(va)
 	if !ok {
 		m.Faults++

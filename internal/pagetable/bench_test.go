@@ -1,0 +1,60 @@
+package pagetable
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+// BenchmarkLookupSameLeaf measures Lookup when consecutive addresses fall in
+// the same page — the last-leaf cache's best case (the walk loop never runs).
+func BenchmarkLookupSameLeaf(b *testing.B) {
+	t := New()
+	if err := t.Map(0, 0, units.Size2M); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := t.Lookup(uint64(i) % units.Page2M); !ok {
+			b.Fatal("lookup missed")
+		}
+	}
+}
+
+// BenchmarkLookupStride4K walks a 4KB-mapped region page by page: every
+// lookup leaves the cached leaf page, but the last-PD cache keeps the
+// descent to a single level.
+func BenchmarkLookupStride4K(b *testing.B) {
+	t := New()
+	const pages = 4096 // 16MB
+	for i := uint64(0); i < pages; i++ {
+		if err := t.Map(i*units.Page4K, i, units.Size4K); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		va := (uint64(i) % pages) * units.Page4K
+		if _, ok := t.Lookup(va); !ok {
+			b.Fatal("lookup missed")
+		}
+	}
+}
+
+// BenchmarkTranslateSameLeaf measures the flag-setting Translate on the
+// leaf-cache hit path (the hardware walker's accessed/dirty update).
+func BenchmarkTranslateSameLeaf(b *testing.B) {
+	t := New()
+	if err := t.Map(0, 0, units.Size2M); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := t.Translate(uint64(i)%units.Page2M, i%2 == 0); !ok {
+			b.Fatal("translate missed")
+		}
+	}
+}

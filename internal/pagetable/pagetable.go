@@ -54,11 +54,38 @@ type Mapping struct {
 }
 
 // Table is one address space's page table.
+//
+// Lookup and Translate keep a small software walk cache (wc) and are
+// therefore not safe for concurrent use; each simulated run owns its tables
+// exclusively (DESIGN.md §5).
 type Table struct {
 	root        *node // level 4 (PML4)
 	mappedBytes [units.NumPageSizes]uint64
 	mappedPages [units.NumPageSizes]uint64
+	wc          walkCache
 }
+
+// walkCache remembers where the previous walk ended, so spatially-local
+// walks resolve without re-descending from the PML4: the last leaf entry
+// (any size) answers repeats within the same page, and the last page-table
+// node reached at level 2 (a PD, covering 1GB of VA) answers neighbours in
+// the same 1GB window from two levels down. It caches structure, not entry
+// contents — hits re-read the live entry, so flag updates (accessed/dirty
+// bits, Replace's PFN swap) need no invalidation; any structural change
+// (Map/Unmap/Demote) drops the cache wholesale.
+type walkCache struct {
+	leaf     *node // node holding the cached leaf entry; nil when invalid
+	leafIdx  int
+	leafLo   uint64 // VA span [leafLo, leafHi) of the cached leaf page
+	leafHi   uint64
+	leafSize units.PageSize
+
+	pd   *node // level-2 node covering [pdLo, pdLo+1GB); nil when invalid
+	pdLo uint64
+}
+
+// invalidate drops the walk cache (called on any structural mutation).
+func (t *Table) invalidate() { t.wc = walkCache{} }
 
 type node struct {
 	entries  [512]uint64
@@ -124,6 +151,7 @@ func (t *Table) Map(va, pfn uint64, size units.PageSize) error {
 	if t.rangeMapped(va, va+size.Bytes()) {
 		return ErrOverlap
 	}
+	t.invalidate()
 	target := leafLevel(size)
 	n := t.root
 	for level := 4; level > target; level-- {
@@ -169,6 +197,7 @@ func (t *Table) Unmap(va uint64, size units.PageSize) (uint64, error) {
 	if err := checkVA(va, size); err != nil {
 		return 0, err
 	}
+	t.invalidate()
 	target := leafLevel(size)
 	var path [5]*node
 	n := t.root
@@ -214,26 +243,59 @@ func (t *Table) Lookup(va uint64) (Mapping, bool) {
 	if va >= MaxVA {
 		return Mapping{}, false
 	}
-	n := t.root
-	for level := 4; level >= 1; level-- {
-		i := index(va, level)
+	if wc := &t.wc; wc.leaf != nil && va-wc.leafLo < wc.leafHi-wc.leafLo {
+		e := wc.leaf.entries[wc.leafIdx]
+		return Mapping{
+			VA:       wc.leafLo,
+			PFN:      e >> pfnShift,
+			Size:     wc.leafSize,
+			Accessed: e&flagAccessed != 0,
+			Dirty:    e&flagDirty != 0,
+		}, true
+	}
+	n, i, level, ok := t.descend(va)
+	if !ok {
+		return Mapping{}, false
+	}
+	e := n.entries[i]
+	size := sizeOfLevel(level)
+	return Mapping{
+		VA:       units.Align(va, size.Bytes()),
+		PFN:      e >> pfnShift,
+		Size:     size,
+		Accessed: e&flagAccessed != 0,
+		Dirty:    e&flagDirty != 0,
+	}, true
+}
+
+// descend walks to the leaf entry covering va, starting from the cached PD
+// node when va falls in its 1GB window, and refreshes the walk cache along
+// the way. It returns the node and index of the leaf entry and its level,
+// or ok=false if va is unmapped.
+func (t *Table) descend(va uint64) (n *node, i, level int, ok bool) {
+	n, level = t.root, 4
+	if wc := &t.wc; wc.pd != nil && va-wc.pdLo < units.Page1G {
+		n, level = wc.pd, 2
+	}
+	for ; level >= 1; level-- {
+		i = index(va, level)
 		e := n.entries[i]
 		if e&flagPresent == 0 {
-			return Mapping{}, false
+			return nil, 0, 0, false
 		}
 		if level == 1 || e&flagPS != 0 {
 			size := sizeOfLevel(level)
-			return Mapping{
-				VA:       units.Align(va, size.Bytes()),
-				PFN:      e >> pfnShift,
-				Size:     size,
-				Accessed: e&flagAccessed != 0,
-				Dirty:    e&flagDirty != 0,
-			}, true
+			lo := units.Align(va, size.Bytes())
+			t.wc.leaf, t.wc.leafIdx = n, i
+			t.wc.leafLo, t.wc.leafHi, t.wc.leafSize = lo, lo+size.Bytes(), size
+			return n, i, level, true
+		}
+		if level == 3 {
+			t.wc.pd, t.wc.pdLo = n.children[i], units.Align(va, units.Page1G)
 		}
 		n = n.children[i]
 	}
-	return Mapping{}, false
+	return nil, 0, 0, false
 }
 
 func sizeOfLevel(level int) units.PageSize {
@@ -254,33 +316,32 @@ func (t *Table) Translate(va uint64, write bool) (uint64, Mapping, bool) {
 	if va >= MaxVA {
 		return 0, Mapping{}, false
 	}
-	n := t.root
-	for level := 4; level >= 1; level-- {
-		i := index(va, level)
-		e := n.entries[i]
-		if e&flagPresent == 0 {
+	var n *node
+	var i int
+	if wc := &t.wc; wc.leaf != nil && va-wc.leafLo < wc.leafHi-wc.leafLo {
+		n, i = wc.leaf, wc.leafIdx
+	} else {
+		var ok bool
+		n, i, _, ok = t.descend(va)
+		if !ok {
 			return 0, Mapping{}, false
 		}
-		if level == 1 || e&flagPS != 0 {
-			e |= flagAccessed
-			if write {
-				e |= flagDirty
-			}
-			n.entries[i] = e
-			size := sizeOfLevel(level)
-			m := Mapping{
-				VA:       units.Align(va, size.Bytes()),
-				PFN:      e >> pfnShift,
-				Size:     size,
-				Accessed: true,
-				Dirty:    e&flagDirty != 0,
-			}
-			offset := va - m.VA
-			return units.FrameAddr(m.PFN) + offset, m, true
-		}
-		n = n.children[i]
 	}
-	return 0, Mapping{}, false
+	e := n.entries[i] | flagAccessed
+	if write {
+		e |= flagDirty
+	}
+	n.entries[i] = e
+	size := t.wc.leafSize
+	m := Mapping{
+		VA:       t.wc.leafLo,
+		PFN:      e >> pfnShift,
+		Size:     size,
+		Accessed: true,
+		Dirty:    e&flagDirty != 0,
+	}
+	offset := va - m.VA
+	return units.FrameAddr(m.PFN) + offset, m, true
 }
 
 // Replace repoints the leaf mapping at va (of the given size) to a new PFN,

@@ -19,8 +19,10 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 
@@ -67,6 +69,12 @@ type Options struct {
 	// NoCache bypasses the process-wide memo cache (benchmarks measuring
 	// raw engine throughput use this).
 	NoCache bool
+	// Label, when non-empty, is attached to every job as the "experiment"
+	// pprof label; simulator jobs additionally carry a "job" label of the
+	// form "workload/policy". CPU profiles of a full experiments run can
+	// then be sliced per figure and per grid cell with `go tool pprof
+	// -tagfocus`.
+	Label string
 }
 
 // Execute runs jobs concurrently on a worker pool and then invokes each
@@ -101,7 +109,9 @@ func Execute(jobs []Job, opts Options) {
 				if i >= len(jobs) {
 					return
 				}
-				runJob(&jobs[i], &outs[i], &errs[i], &panics[i], opts.NoCache)
+				pprof.Do(context.Background(), jobLabels(&jobs[i], opts.Label), func(context.Context) {
+					runJob(&jobs[i], &outs[i], &errs[i], &panics[i], opts.NoCache)
+				})
 			}
 		}()
 	}
@@ -130,6 +140,19 @@ func Execute(jobs []Job, opts Options) {
 			}
 		}
 	}
+}
+
+// jobLabels builds the pprof label set for one job: the Execute-level
+// experiment label plus, for simulator jobs, the grid cell being computed.
+func jobLabels(j *Job, label string) pprof.LabelSet {
+	kv := make([]string, 0, 4)
+	if label != "" {
+		kv = append(kv, "experiment", label)
+	}
+	if j.Run == nil && j.Cfg.Workload != nil {
+		kv = append(kv, "job", fmt.Sprintf("%s/%v", j.Cfg.Workload.Name, j.Cfg.Policy))
+	}
+	return pprof.Labels(kv...)
 }
 
 func runJob(j *Job, out *any, err *error, panicked *any, noCache bool) {
@@ -166,6 +189,7 @@ type cacheKey struct {
 	khugepagedBudgetFrac float64
 	pv                   bool
 	pvUnbatched          bool
+	shadowCheck          bool
 }
 
 func keyOf(cfg sim.Config) cacheKey {
@@ -185,6 +209,7 @@ func keyOf(cfg sim.Config) cacheKey {
 		khugepagedBudgetFrac: cfg.KhugepagedBudgetFrac,
 		pv:                   cfg.Pv,
 		pvUnbatched:          cfg.PvUnbatched,
+		shadowCheck:          cfg.ShadowCheck,
 	}
 }
 

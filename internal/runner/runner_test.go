@@ -170,7 +170,7 @@ func TestPanicSubmissionOrder(t *testing.T) {
 // sim.Config without extending keyOf (which would silently alias distinct
 // configs in the memo cache). Update keyOf, then this count.
 func TestConfigFieldCountGuard(t *testing.T) {
-	const knownFields = 14
+	const knownFields = 15
 	if n := reflect.TypeOf(sim.Config{}).NumField(); n != knownFields {
 		t.Fatalf("sim.Config has %d fields, cacheKey covers %d: extend runner.keyOf for the new field(s), then bump this constant", n, knownFields)
 	}

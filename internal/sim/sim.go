@@ -133,6 +133,12 @@ type Config struct {
 	// TLB overrides the translation-cache geometry (nil = tlb.Skylake()).
 	// Tests use proportionally shrunken TLBs with shrunken footprints.
 	TLB *tlb.Config
+
+	// ShadowCheck enables the MMU's test-only coherence mode: every TLB
+	// fast-path hit is cross-checked against the software page walk and any
+	// divergence panics (see mmu.MMU.ShadowCheck). Measured results are
+	// unaffected; only tests should set it.
+	ShadowCheck bool
 }
 
 func (c *Config) setDefaults() {
@@ -328,6 +334,8 @@ func (r *runner) buildMachine() error {
 			return err
 		}
 	}
+
+	r.m.ShadowCheck = cfg.ShadowCheck
 
 	policy, err := r.buildPolicy(r.k, cfg.Policy, true)
 	if err != nil {

@@ -103,6 +103,30 @@ func (t *TLB) Probe(tag uint64) bool {
 	return false
 }
 
+// lookupHit probes for tag and, on a hit, promotes it to MRU and counts the
+// hit exactly like Lookup; a miss touches no state at all. Hierarchy.Probe
+// uses it to test the sub-TLBs of every page size without charging misses
+// to structures the reference's (still unknown) page size never selects.
+func (t *TLB) lookupHit(tag uint64) bool {
+	b := t.base(tag)
+	set := t.lines[b : b+t.ways]
+	for w, line := range set {
+		if line == tag {
+			if w > 0 {
+				copy(set[1:w+1], set[:w])
+				set[0] = tag
+			}
+			t.hits++
+			return true
+		}
+	}
+	return false
+}
+
+// countMiss records a miss without re-probing, for callers that have already
+// established the tag is absent.
+func (t *TLB) countMiss() { t.misses++ }
+
 // Insert installs tag as MRU of its set, evicting the LRU way if needed.
 func (t *TLB) Insert(tag uint64) {
 	b := t.base(tag)
@@ -257,6 +281,46 @@ func (h *Hierarchy) Access(va uint64, size units.PageSize) Level {
 	h.l2[size].Insert(t)
 	h.l1[size].Insert(t)
 	return Miss
+}
+
+// Probe translates one reference whose page size is not known up front by
+// probing every per-size sub-TLB with the VA alone and recovering the page
+// size from the tag that hits. On a hit it performs exactly the state and
+// counter updates Access(va, size) would have performed — L1 hits promote to
+// MRU, L2 hits additionally charge an L1 miss and install the entry in L1 —
+// so a Probe hit is bit-identical to an Access call with the mapped size.
+// On a full miss nothing is touched; the caller resolves the size from the
+// page table and calls Access, which then charges the misses and installs
+// the entry, as before.
+//
+// Soundness rests on the shootdown discipline (DESIGN.md §5a): every remap
+// flushes the affected page, so between flushes an entry's tag — which
+// encodes the page size it was installed at — is authoritative. Tags are
+// salted per size, so a hit can only come from an entry installed for this
+// VA at that size, and a VA never has live entries at two sizes at once.
+func (h *Hierarchy) Probe(va uint64) (Level, units.PageSize, bool) {
+	var tags [units.NumPageSizes]uint64
+	for s := units.PageSize(0); s < units.NumPageSizes; s++ {
+		tags[s] = tag(va, s)
+	}
+	for s := units.PageSize(0); s < units.NumPageSizes; s++ {
+		if h.l1[s].lookupHit(tags[s]) {
+			h.accesses[s]++
+			h.l1Hits[s]++
+			return HitL1, s, true
+		}
+	}
+	for s := units.PageSize(0); s < units.NumPageSizes; s++ {
+		if h.l2[s].lookupHit(tags[s]) {
+			// Access would have gone through L1 first and charged it a miss.
+			h.l1[s].countMiss()
+			h.accesses[s]++
+			h.l2Hits[s]++
+			h.l1[s].Insert(tags[s])
+			return HitL2, s, true
+		}
+	}
+	return HitL1, 0, false
 }
 
 // InvalidatePage removes a single page's entries from all levels (one page

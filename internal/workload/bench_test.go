@@ -1,0 +1,33 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/kernel"
+	"repro/internal/units"
+)
+
+// BenchmarkInstanceNext measures one access-stream draw — segment selection
+// through the flat offset index plus the per-segment pattern — on a
+// representative hot/cold workload at test scale.
+func BenchmarkInstanceNext(b *testing.B) {
+	spec, ok := ByName("XSBench")
+	if !ok {
+		b.Fatal("unknown workload XSBench")
+	}
+	k := kernel.New(8*units.Page1G, units.TridentMaxOrder)
+	task := k.NewTask("bench")
+	inst, err := spec.Instantiate(k, task, fault.NewBase4K(k), 1, 0.25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		va, _ := inst.Next()
+		sink += va
+	}
+	_ = sink
+}

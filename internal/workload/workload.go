@@ -26,7 +26,6 @@ package workload
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/fault"
 	"repro/internal/kernel"
@@ -286,11 +285,22 @@ type Instance struct {
 
 	rng *xrand.Rand
 
-	// Linearized heap segments (ascending VA) with cumulative sizes for
-	// O(log n) position→VA mapping.
+	// Linearized heap segments (ascending VA) with cumulative sizes and a
+	// flat offset index for O(1) position→VA mapping.
 	heap     segments
 	fringe   segments
 	hotBytes uint64
+	// Hoisted Spec.Access thresholds (see buildSegments): Next runs once per
+	// sampled reference, so it reads these instance-local values instead of
+	// chasing Spec and re-adding the fraction fields on every draw. The sums
+	// are formed in the same left-to-right order Next previously used, so
+	// every comparison sees bit-identical values.
+	writeFrac    float64
+	stackThresh  float64 // StackFrac
+	fringeThresh float64 // StackFrac + FringeFrac
+	coldThresh   float64 // StackFrac + FringeFrac + ColdFrac
+	hasStack     bool
+	hasFringe    bool
 	// FaultLatencies collects per-fault synchronous latencies (ns) during
 	// population, for the tail-latency analysis of Table 5.
 	FaultLatencies []float64
@@ -300,17 +310,53 @@ type segments struct {
 	starts []uint64 // VA of each segment
 	cum    []uint64 // cumulative bytes before each segment
 	total  uint64
+
+	// lut is a flat offset index: lut[b] is the segment containing byte
+	// position b<<lutShift, so at() starts from the right neighbourhood and
+	// advances at most the few segments sharing that bucket instead of
+	// binary-searching the whole cumulative table on every draw. Rebuilt
+	// lazily after add() (segments arrive in batches, draws in millions).
+	lut      []int32
+	lutShift uint
 }
 
 func (s *segments) add(start, size uint64) {
 	s.starts = append(s.starts, start)
 	s.cum = append(s.cum, s.total)
 	s.total += size
+	s.lut = nil
 }
 
-// at maps a byte position in [0, total) to a VA.
+// buildLut indexes byte positions at a granularity that keeps the table at
+// most ~4 entries per segment, bounding both memory and the advance loop.
+func (s *segments) buildLut() {
+	shift := uint(12)
+	for s.total>>shift > uint64(4*len(s.starts)) {
+		shift++
+	}
+	lut := make([]int32, s.total>>shift+1)
+	seg := 0
+	for b := range lut {
+		pos := uint64(b) << shift
+		for seg+1 < len(s.cum) && s.cum[seg+1] <= pos {
+			seg++
+		}
+		lut[b] = int32(seg)
+	}
+	s.lut, s.lutShift = lut, shift
+}
+
+// at maps a byte position in [0, total) to a VA. The lookup lands on the
+// last segment whose cumulative start is <= pos — the same segment the
+// previous sort.Search implementation selected.
 func (s *segments) at(pos uint64) uint64 {
-	i := sort.Search(len(s.cum), func(i int) bool { return s.cum[i] > pos }) - 1
+	if s.lut == nil {
+		s.buildLut()
+	}
+	i := int(s.lut[pos>>s.lutShift])
+	for i+1 < len(s.cum) && s.cum[i+1] <= pos {
+		i++
+	}
 	return s.starts[i] + (pos - s.cum[i])
 }
 
@@ -498,6 +544,13 @@ func (inst *Instance) buildSegments(scale float64) {
 	if inst.hotBytes == 0 || inst.hotBytes > inst.heap.total {
 		inst.hotBytes = inst.heap.total
 	}
+	a := inst.Spec.Access
+	inst.writeFrac = a.WriteFrac
+	inst.stackThresh = a.StackFrac
+	inst.fringeThresh = a.StackFrac + a.FringeFrac
+	inst.coldThresh = a.StackFrac + a.FringeFrac + a.ColdFrac
+	inst.hasStack = inst.StackBytes > 0
+	inst.hasFringe = inst.fringe.total > 0
 }
 
 // HeapBytes returns the total allocated heap bytes.
@@ -510,15 +563,14 @@ func (inst *Instance) FringeBytes() uint64 { return inst.fringe.total }
 // Next returns the next reference (virtual address and whether it is a
 // store).
 func (inst *Instance) Next() (uint64, bool) {
-	a := inst.Spec.Access
-	write := inst.rng.Bool(a.WriteFrac)
+	write := inst.rng.Bool(inst.writeFrac)
 	r := inst.rng.Float64()
 	switch {
-	case r < a.StackFrac && inst.StackBytes > 0:
+	case r < inst.stackThresh && inst.hasStack:
 		return inst.StackVA + inst.rng.Uint64n(inst.StackBytes), write
-	case r < a.StackFrac+a.FringeFrac && inst.fringe.total > 0:
+	case r < inst.fringeThresh && inst.hasFringe:
 		return inst.fringe.at(inst.rng.Uint64n(inst.fringe.total)), write
-	case r < a.StackFrac+a.FringeFrac+a.ColdFrac:
+	case r < inst.coldThresh:
 		return inst.heap.at(inst.rng.Uint64n(inst.heap.total)), write
 	default:
 		return inst.heap.at(inst.rng.Uint64n(inst.hotBytes)), write

@@ -93,6 +93,11 @@ type Zipf struct {
 	n   uint64
 	s   float64
 	cdf []float64 // cumulative distribution, len n (built once)
+	// qidx is the quantile index over the CDF: qidx[j] is the draw for
+	// u = j/Q exactly (Q = len(qidx)-1, a power of two), so the answer for
+	// any u in [j/Q, (j+1)/Q) lies in [qidx[j], qidx[j+1]] by monotonicity
+	// and the per-draw binary search narrows to that sliver of the CDF.
+	qidx []int32
 }
 
 // NewZipf returns a Zipf generator over [0, n) with exponent s > 0.
@@ -110,14 +115,39 @@ func NewZipf(r *Rand, n uint64, s float64) *Zipf {
 	for k := range cdf {
 		cdf[k] /= sum
 	}
-	return &Zipf{r: r, n: n, s: s, cdf: cdf}
+	z := &Zipf{r: r, n: n, s: s, cdf: cdf}
+	// Quantile count: a power of two (so u*Q is an exact scaling and
+	// floor(u*Q) bins u exactly) of the same magnitude as n, bounded to keep
+	// the index a fraction of the CDF's own footprint.
+	q := 256
+	for uint64(q) < n && q < 1<<16 {
+		q <<= 1
+	}
+	z.qidx = make([]int32, q+1)
+	k := 0
+	for j := 0; j <= q; j++ {
+		// qidx[j] = smallest k with cdf[k] >= j/q, capped at n-1 — exactly
+		// the value Next's search would return for u = j/q.
+		u := float64(j) / float64(q)
+		for k < int(n)-1 && cdf[k] < u {
+			k++
+		}
+		z.qidx[j] = int32(k)
+	}
+	return z
 }
 
 // Next returns the next Zipf-distributed value in [0, n).
+//
+// The quantile index narrows the search to [qidx[j], qidx[j+1]]; within
+// that range the loop is the same binary search over the same CDF with the
+// same comparisons, so the draw→value mapping is bit-identical to searching
+// [0, n) — the invariant "smallest k with cdf[k] >= u" does not depend on
+// how tightly the initial bounds bracket the answer.
 func (z *Zipf) Next() uint64 {
 	u := z.r.Float64()
-	// Binary search the CDF.
-	lo, hi := 0, len(z.cdf)-1
+	j := int(u * float64(len(z.qidx)-1))
+	lo, hi := int(z.qidx[j]), int(z.qidx[j+1])
 	for lo < hi {
 		mid := (lo + hi) / 2
 		if z.cdf[mid] < u {
