@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench benchcheck verify clean
+.PHONY: all build vet test race bench benchcheck chaos fuzz verify clean
 
 all: build
 
@@ -27,13 +27,26 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -benchtime 1x .
 
+# Robustness gate: the fault-injection and invariant-auditor suites under the
+# race detector. Chaos wires injected failures into the allocator hot paths
+# from the simulation goroutines, so racing them is the whole point.
+chaos:
+	$(GO) test -race ./internal/chaos ./internal/audit
+	$(GO) test -race -run 'TestChaos|TestAuditEvery' ./internal/sim
+
+# Fuzz smoke: ten seconds of audit-checked random kernel-op sequences under
+# chaos-injected buddy failures. The seed corpus alone runs on plain
+# `make test`; this exercises the mutator too.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzKernelOpsAudit -fuzztime 10s ./internal/kernel
+
 # Bench-rot gate: compile and run every benchmark in the tree exactly once
 # (no test functions: -run matches nothing). Catches benchmarks broken by
 # API drift without paying for real measurement.
 benchcheck:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
 
-verify: build vet test race benchcheck
+verify: build vet test race chaos fuzz benchcheck
 
 clean:
 	rm -rf report

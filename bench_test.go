@@ -86,10 +86,10 @@ func BenchmarkRunnerScaling(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t0 := time.Now()
-		runner.Execute(jobs, runner.Options{Parallelism: 1, NoCache: true})
+		runner.Execute(jobs, runner.Options{Parallelism: 1, NoCache: true}).MustOK()
 		seq += time.Since(t0)
 		t1 := time.Now()
-		runner.Execute(jobs, runner.Options{Parallelism: workers, NoCache: true})
+		runner.Execute(jobs, runner.Options{Parallelism: workers, NoCache: true}).MustOK()
 		par += time.Since(t1)
 	}
 	if par > 0 {

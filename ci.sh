@@ -1,8 +1,9 @@
 #!/bin/sh
 # Tier-1 verification (ROADMAP.md): build, vet, full tests, the race
-# detector on the concurrent packages and the shadow-coherence tests, and a
-# one-iteration sweep of every benchmark (bench-rot gate). Equivalent to
-# `make verify`.
+# detector on the concurrent packages, the shadow-coherence tests and the
+# chaos/audit robustness suites, a 10s fuzz smoke of the audit-checked
+# kernel-op fuzzer, and a one-iteration sweep of every benchmark (bench-rot
+# gate). Equivalent to `make verify`.
 set -eux
 
 go build ./...
@@ -10,4 +11,7 @@ go vet ./...
 go test ./...
 go test -race ./internal/runner ./internal/stats
 go test -race -run 'TestShadowCoherence' ./internal/sim
+go test -race ./internal/chaos ./internal/audit
+go test -race -run 'TestChaos|TestAuditEvery' ./internal/sim
+go test -run '^$' -fuzz FuzzKernelOpsAudit -fuzztime 10s ./internal/kernel
 go test -run '^$' -bench=. -benchtime=1x ./...

@@ -7,9 +7,18 @@
 //	experiments -quick           # half scale (≈2 minutes)
 //	experiments -only fig9,tab3  # subset
 //	experiments -parallel 8      # 8 simulation workers (output is identical)
+//	experiments -timeout 2m      # bound each simulation job
+//	experiments -deadline 30m    # bound the whole run
+//	experiments -resume          # reuse <out>/checkpoint from a killed run
+//
+// A failing experiment job (panic, error, timeout) does not abort the run:
+// the remaining jobs complete, the rows that depend on the failed job are
+// reported as skipped with the failure's reason, and the process exits
+// non-zero.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -41,6 +50,7 @@ type perfSummary struct {
 	WallMillis   float64      `json:"wall_ms"`
 	UniqueSims   uint64       `json:"unique_simulations"`
 	CacheHits    uint64       `json:"cache_hits"`
+	Resumed      uint64       `json:"checkpoint_resumed"`
 	CacheEntries int          `json:"cache_entries"`
 	Experiments  []perfRecord `json:"experiments"`
 }
@@ -95,7 +105,24 @@ func run() error {
 		parallel   = flag.Int("parallel", 0, "simulation workers (0 = GOMAXPROCS); output is identical for any value")
 		cpuprofile = flag.String("cpuprofile", "", "write CPU profile to file")
 		memprofile = flag.String("memprofile", "", "write heap profile to file on exit")
+		timeout    = flag.Duration("timeout", 0, "per-job time limit; a job over it is recorded as failed (0 = none)")
+		deadline   = flag.Duration("deadline", 0, "whole-run time limit; remaining jobs are skipped past it (0 = none)")
+		resume     = flag.Bool("resume", false, "reload results journaled under <out>/checkpoint by a previous run; without it the journal is cleared at startup")
 	)
+	flag.Usage = func() {
+		o := flag.CommandLine.Output()
+		fmt.Fprint(o, "Usage: experiments [flags]\n\nRegenerates the paper's figures and tables as CSVs.\n\nFlags:\n")
+		flag.PrintDefaults()
+		fmt.Fprint(o, `
+Examples:
+  experiments -quick                 half-scale run of everything
+  experiments -only fig9,tab3       just Figure 9 and Table 3
+  experiments -timeout 2m           give up on any single simulation after 2 minutes
+  experiments -deadline 30m         stop the whole run after 30 minutes
+  experiments -resume               after a crash or kill: reuse the <out>/checkpoint
+                                    journal and recompute only unfinished experiments
+`)
+	}
 	flag.Parse()
 
 	// Seed 0 is reserved internally as "unset" and would be silently
@@ -130,6 +157,30 @@ func run() error {
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		return err
 	}
+
+	// Completed simulations are journaled under the report directory; with
+	// -resume a re-run reloads them (byte-identically — the journal key is
+	// the memo-cache fingerprint) and computes only what is missing. Without
+	// -resume the journal is cleared so stale results can never leak in.
+	ckptDir := filepath.Join(*out, "checkpoint")
+	if !*resume {
+		if err := os.RemoveAll(ckptDir); err != nil {
+			return fmt.Errorf("clearing checkpoint journal: %w", err)
+		}
+	}
+	settings.Checkpoint = ckptDir
+
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+	settings.Ctx = ctx
+	settings.Timeout = *timeout
+
+	var fails runner.FailureLog
+	settings.Failures = &fails
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -175,14 +226,19 @@ func run() error {
 	}
 	cs := runner.Cache()
 	totalElapsed := time.Since(totalStart).Round(time.Millisecond)
-	fmt.Printf("ran %d experiment(s) in %s with %d worker(s): %d unique simulation(s), %d cache hit(s)\n",
+	fmt.Printf("ran %d experiment(s) in %s with %d worker(s): %d unique simulation(s), %d cache hit(s)",
 		len(records), totalElapsed, workers, cs.Misses, cs.Hits)
+	if cs.Resumed > 0 {
+		fmt.Printf(", %d resumed from checkpoint", cs.Resumed)
+	}
+	fmt.Println()
 
 	summary := perfSummary{
 		Workers:      workers,
 		WallMillis:   float64(totalElapsed) / float64(time.Millisecond),
 		UniqueSims:   cs.Misses,
 		CacheHits:    cs.Hits,
+		Resumed:      cs.Resumed,
 		CacheEntries: cs.Entries,
 		Experiments:  records,
 	}
@@ -205,6 +261,14 @@ func run() error {
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			return err
 		}
+	}
+
+	if fl := fails.All(); len(fl) > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d job(s) did not complete; their rows are missing from the CSVs:\n", len(fl))
+		for i := range fl {
+			fmt.Fprintf(os.Stderr, "  skipped: %s\n", fl[i].Reason())
+		}
+		return fmt.Errorf("%d job(s) failed (re-run with -resume to retry only the unfinished work)", len(fl))
 	}
 	return nil
 }

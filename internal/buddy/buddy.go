@@ -16,6 +16,7 @@ package buddy
 import (
 	"errors"
 	"fmt"
+	"slices"
 
 	"repro/internal/phys"
 	"repro/internal/units"
@@ -45,6 +46,13 @@ type Allocator struct {
 	// frame), allocated once and cleared per call; the map it replaced
 	// allocated per invocation on every fragmentation snapshot.
 	covered []uint64
+
+	// FailAlloc, if set, is consulted on every Alloc and AllocSpecific;
+	// returning true forces ErrNoMemory as if no contiguous chunk existed.
+	// The chaos injector (internal/chaos) uses it to exercise the
+	// allocation-failure fallbacks at chosen rates; it is nil in ordinary
+	// runs and costs one nil check.
+	FailAlloc func(order int) bool
 }
 
 // New creates an allocator over mem with free lists up to maxOrder
@@ -90,6 +98,9 @@ func (a *Allocator) Alloc(order int, unmovable bool) (uint64, error) {
 	if order < 0 || order > a.maxOrder {
 		return 0, fmt.Errorf("buddy: invalid order %d", order)
 	}
+	if a.FailAlloc != nil && a.FailAlloc(order) {
+		return 0, ErrNoMemory
+	}
 	from := -1
 	for o := order; o <= a.maxOrder; o++ {
 		if a.counts[o] > 0 {
@@ -120,6 +131,9 @@ func (a *Allocator) AllocSpecific(pfn uint64, order int, unmovable bool) error {
 	}
 	if !units.IsAligned(pfn, uint64(1)<<uint(order)) {
 		return fmt.Errorf("buddy: pfn %d not aligned to order %d", pfn, order)
+	}
+	if a.FailAlloc != nil && a.FailAlloc(order) {
+		return ErrNoMemory
 	}
 	// Find the free chunk covering pfn.
 	cover := -1
@@ -287,12 +301,10 @@ func dedupSorted(s []uint64) []uint64 {
 	if len(s) == 0 {
 		return s
 	}
-	// Insertion-friendly small sort: heaps are near-sorted already.
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
+	// A heap array is only loosely ordered, and a fragmented machine's
+	// order-0 list holds hundreds of thousands of heads — the invariant
+	// auditor calls this on every check, so it must be O(n log n).
+	slices.Sort(s)
 	out := s[:1]
 	for _, v := range s[1:] {
 		if v != out[len(out)-1] {

@@ -1,0 +1,158 @@
+// Package chaos is a deterministic fault injector for the simulated
+// machine. The paper's central mechanisms are fallback paths — a 1GB fault
+// falls back to 2MB and then 4KB when contiguity is scarce (§5.1.2), a
+// promotion attempt fails when compaction cannot produce a chunk (Table 4
+// counts attempts vs. failures), compaction itself abandons blocks — yet in
+// an ordinary run those edges fire only when fragmentation happens to line
+// up. The injector forces them to fire at chosen rates, so every fallback
+// edge and every failure counter can be exercised and then verified against
+// the whole-machine invariant auditor (internal/audit).
+//
+// Injection is seed-driven and consumes randomness from its own generator,
+// one draw per decision point, so a (seed, rates) pair reproduces the exact
+// same failure schedule on every run — chaos runs are as deterministic as
+// ordinary ones. With all rates zero (or a nil Config in sim.Config) no
+// decision point draws and behaviour is bit-identical to an uninjected run.
+package chaos
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// Config selects what to break and how often. Rates are probabilities in
+// [0, 1] applied independently at each decision point.
+type Config struct {
+	// Seed drives the injection schedule (0 is remapped to 1 so a zero
+	// value is still deterministic).
+	Seed uint64
+	// BuddyFailRate fails huge-page buddy allocations (order >= Order2M):
+	// the Alloc returns buddy.ErrNoMemory as if no contiguous chunk
+	// existed. Base-page (order-0) allocations are never failed — a 4KB
+	// OOM aborts the workload rather than exercising a fallback.
+	BuddyFailRate float64
+	// ZeroPoolFailRate makes zerofill.Daemon.TakeZeroed report an empty
+	// pool, forcing the synchronous-zeroing fault path (§5.1.2's 400ms
+	// case) or the next smaller page size.
+	ZeroPoolFailRate float64
+	// CompactAbortRate aborts a compaction attempt at a block/move
+	// boundary, modelling contention or an unmovable page appearing
+	// mid-run; copies already performed stay accounted as wasted bytes.
+	CompactAbortRate float64
+	// PromoteAbortRate aborts a promotion attempt after it is counted,
+	// before any state changes (the daemon records it as a failure).
+	PromoteAbortRate float64
+}
+
+// Enabled reports whether any injection can fire.
+func (c Config) Enabled() bool {
+	return c.BuddyFailRate > 0 || c.ZeroPoolFailRate > 0 ||
+		c.CompactAbortRate > 0 || c.PromoteAbortRate > 0
+}
+
+// Kind identifies one class of injected failure.
+type Kind int
+
+// Injection kinds, in Stats order.
+const (
+	KindBuddyFail Kind = iota
+	KindZeroPoolFail
+	KindCompactAbort
+	KindPromoteAbort
+	numKinds
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindBuddyFail:
+		return "buddy-alloc-fail"
+	case KindZeroPoolFail:
+		return "zeropool-exhausted"
+	case KindCompactAbort:
+		return "compact-abort"
+	case KindPromoteAbort:
+		return "promote-abort"
+	}
+	return fmt.Sprintf("chaos.Kind(%d)", int(k))
+}
+
+// Stats counts injections performed, by kind.
+type Stats struct {
+	Injected [numKinds]uint64
+	// Decisions counts decision points consulted (injected or not).
+	Decisions uint64
+}
+
+// Total returns injections across all kinds.
+func (s *Stats) Total() uint64 {
+	var n uint64
+	for _, v := range s.Injected {
+		n += v
+	}
+	return n
+}
+
+// Injector is one run's live fault injector. It is not safe for concurrent
+// use; like the rest of the machine, one simulation owns one injector.
+type Injector struct {
+	cfg Config
+	rng *xrand.Rand
+	S   Stats
+
+	// OnInject, if set, runs after every injected failure with its kind.
+	// The simulator points this at the invariant auditor so that every
+	// forced failure is immediately followed by a whole-machine coherence
+	// check.
+	OnInject func(Kind)
+}
+
+// New creates an injector for cfg.
+func New(cfg Config) *Injector {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Injector{cfg: cfg, rng: xrand.New(seed ^ 0xc4a05)}
+}
+
+// decide draws one decision and fires the OnInject hook on injection.
+func (i *Injector) decide(rate float64, kind Kind) bool {
+	if rate <= 0 {
+		return false
+	}
+	i.S.Decisions++
+	if !i.rng.Bool(rate) {
+		return false
+	}
+	i.S.Injected[kind]++
+	if i.OnInject != nil {
+		i.OnInject(kind)
+	}
+	return true
+}
+
+// BuddyAllocFails decides whether a buddy allocation of the given order is
+// forced to fail. Order-0 requests are exempt (see Config.BuddyFailRate).
+func (i *Injector) BuddyAllocFails(order int) bool {
+	if order == 0 {
+		return false
+	}
+	return i.decide(i.cfg.BuddyFailRate, KindBuddyFail)
+}
+
+// ZeroPoolFails decides whether the zero-fill pool pretends to be empty.
+func (i *Injector) ZeroPoolFails() bool {
+	return i.decide(i.cfg.ZeroPoolFailRate, KindZeroPoolFail)
+}
+
+// CompactAborts decides whether the current compaction attempt aborts here.
+func (i *Injector) CompactAborts() bool {
+	return i.decide(i.cfg.CompactAbortRate, KindCompactAbort)
+}
+
+// PromoteAborts decides whether the current promotion attempt aborts here.
+func (i *Injector) PromoteAborts() bool {
+	return i.decide(i.cfg.PromoteAbortRate, KindPromoteAbort)
+}

@@ -1,0 +1,100 @@
+package chaos
+
+import "testing"
+
+// TestDeterminism: the same (seed, rates) pair must produce the same
+// injection schedule, draw for draw — chaos runs must be replayable.
+func TestDeterminism(t *testing.T) {
+	run := func() ([]bool, Stats) {
+		inj := New(Config{Seed: 42, BuddyFailRate: 0.5, CompactAbortRate: 0.25})
+		var out []bool
+		for i := 0; i < 200; i++ {
+			out = append(out, inj.BuddyAllocFails(9))
+			out = append(out, inj.CompactAborts())
+		}
+		return out, inj.S
+	}
+	a, sa := run()
+	b, sb := run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across identical injectors", i)
+		}
+	}
+	if sa != sb {
+		t.Fatalf("stats differ: %+v vs %+v", sa, sb)
+	}
+	if sa.Injected[KindBuddyFail] == 0 || sa.Injected[KindCompactAbort] == 0 {
+		t.Fatalf("no injections at substantial rates over 200 draws: %+v", sa)
+	}
+	if sa.Total() != sa.Injected[KindBuddyFail]+sa.Injected[KindCompactAbort] {
+		t.Fatalf("Total does not sum kinds: %+v", sa)
+	}
+}
+
+// TestZeroRateDrawsNothing: a kind with rate 0 must not consume randomness,
+// so enabling one kind cannot perturb another kind's schedule (and an
+// all-zero config is bit-identical to no injector at all).
+func TestZeroRateDrawsNothing(t *testing.T) {
+	inj := New(Config{Seed: 7})
+	for i := 0; i < 100; i++ {
+		if inj.BuddyAllocFails(9) || inj.ZeroPoolFails() || inj.CompactAborts() || inj.PromoteAborts() {
+			t.Fatal("zero-rate injector injected")
+		}
+	}
+	if inj.S.Decisions != 0 {
+		t.Fatalf("zero-rate injector consumed %d decisions", inj.S.Decisions)
+	}
+	if Enabled := (Config{}).Enabled(); Enabled {
+		t.Fatal("zero config reports Enabled")
+	}
+	if !(Config{ZeroPoolFailRate: 0.1}).Enabled() {
+		t.Fatal("nonzero rate not Enabled")
+	}
+}
+
+// TestOrderZeroExempt: order-0 (4KB) buddy allocations are never failed —
+// a base-page OOM aborts the workload instead of exercising a fallback.
+func TestOrderZeroExempt(t *testing.T) {
+	inj := New(Config{Seed: 1, BuddyFailRate: 1})
+	for i := 0; i < 50; i++ {
+		if inj.BuddyAllocFails(0) {
+			t.Fatal("order-0 allocation failed")
+		}
+	}
+	if inj.S.Decisions != 0 {
+		t.Fatal("order-0 requests consumed decisions")
+	}
+	if !inj.BuddyAllocFails(1) {
+		t.Fatal("rate-1 injector did not inject at order 1")
+	}
+}
+
+// TestOnInjectFires: the hook runs once per injection with the right kind —
+// it is where the simulator hangs the invariant auditor.
+func TestOnInjectFires(t *testing.T) {
+	inj := New(Config{Seed: 3, PromoteAbortRate: 1, ZeroPoolFailRate: 1})
+	var kinds []Kind
+	inj.OnInject = func(k Kind) { kinds = append(kinds, k) }
+	inj.PromoteAborts()
+	inj.ZeroPoolFails()
+	inj.CompactAborts() // rate 0: no decision, no hook
+	if len(kinds) != 2 || kinds[0] != KindPromoteAbort || kinds[1] != KindZeroPoolFail {
+		t.Fatalf("hook saw %v", kinds)
+	}
+	if inj.S.Total() != 2 || inj.S.Decisions != 2 {
+		t.Fatalf("stats %+v", inj.S)
+	}
+}
+
+// TestSeedZeroRemapped: seed 0 means "unset" repo-wide; the injector must
+// still be deterministic, identical to seed 1.
+func TestSeedZeroRemapped(t *testing.T) {
+	a := New(Config{Seed: 0, BuddyFailRate: 0.5})
+	b := New(Config{Seed: 1, BuddyFailRate: 0.5})
+	for i := 0; i < 64; i++ {
+		if a.BuddyAllocFails(2) != b.BuddyAllocFails(2) {
+			t.Fatal("seed 0 and seed 1 schedules diverge")
+		}
+	}
+}

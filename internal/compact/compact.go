@@ -56,6 +56,11 @@ type Normal struct {
 	// before giving up (Linux's deferred compaction gives up on expensive
 	// attempts rather than migrating forever). 0 means unbounded.
 	MaxAttemptBytes uint64
+	// Abort, if set, is consulted at every block boundary; returning true
+	// abandons the current attempt there (scanner positions persist, so
+	// the next attempt resumes normally). The chaos injector uses it to
+	// model contention cutting a compaction run short.
+	Abort func() bool
 }
 
 // DefaultMaxAttemptBytes bounds one sequential-compaction attempt: enough
@@ -88,6 +93,11 @@ func (c *Normal) Compact(targetOrder int) bool {
 	// scanners meet; both scanner positions persist across attempts, as in
 	// Linux, and reset together when a sweep fails.
 	for block := c.srcPtr &^ (blockFrames - 1); block+blockFrames <= target.pos; block += blockFrames {
+		if c.Abort != nil && c.Abort() {
+			c.srcPtr = block
+			c.tgtPtr = target.pos
+			return c.finish(targetOrder)
+		}
 		copied, ok := c.evacuateBlock(block, blockFrames, target)
 		attemptCopied += copied
 		if ok {
@@ -222,6 +232,11 @@ type Smart struct {
 	OnPvMove func(srcGPA, dstGPA uint64)
 	// PagesExchanged counts moves that went through OnPvMove.
 	PagesExchanged uint64
+	// Abort, if set, is consulted before each page move; returning true
+	// abandons the attempt (copies already done are accounted as wasted,
+	// matching the unmovable-page-appeared-mid-run failure mode). The
+	// chaos injector uses it.
+	Abort func() bool
 }
 
 // NewSmart creates a smart compactor over k.
@@ -293,6 +308,11 @@ func (c *Smart) Compact() bool {
 		if !mem.IsAllocated(f) {
 			f++
 			continue
+		}
+		if c.Abort != nil && c.Abort() {
+			c.BytesWasted += copied
+			c.BytesCopied += copied
+			return false
 		}
 		task, o, head, ok := c.K.OwnerTask(f)
 		if !ok || o.Size == units.Size1G {

@@ -69,8 +69,9 @@ func New(k *kernel.Kernel, v Variant) *System {
 
 // Idle runs one background housekeeping step: zero-fill up to maxZero free
 // 1GB regions, then one budgeted promotion pass over t (budgetNs <= 0 means
-// unlimited). It returns the modeled daemon nanoseconds spent.
-func (s *System) Idle(t *kernel.Task, maxZero int, budgetNs float64) float64 {
+// unlimited). It returns the modeled daemon nanoseconds spent; a non-nil
+// error is a failed collapse remap (see promote.Daemon.ScanTask).
+func (s *System) Idle(t *kernel.Task, maxZero int, budgetNs float64) (float64, error) {
 	s.Zero.Refill(maxZero)
 	return s.Khugepaged.ScanTask(t, budgetNs)
 }

@@ -82,7 +82,10 @@ func TestIdlePromotes(t *testing.T) {
 	if before == 0 {
 		t.Fatal("setup: no 4KB pages")
 	}
-	ns := s.Idle(task, 2, 0)
+	ns, err := s.Idle(task, 2, 0)
+	if err != nil {
+		t.Fatalf("Idle: %v", err)
+	}
 	if ns <= 0 {
 		t.Error("idle did no work")
 	}

@@ -16,7 +16,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -40,6 +42,20 @@ type Settings struct {
 	// Parallelism is the experiment engine's worker-pool size; <= 0 means
 	// GOMAXPROCS. Output is byte-identical for any value.
 	Parallelism int
+
+	// Ctx, when non-nil, cancels the whole run (cmd/experiments wires its
+	// -deadline flag here). Cancelled jobs become Failure records.
+	Ctx context.Context
+	// Timeout bounds each simulator job individually; 0 = no limit.
+	Timeout time.Duration
+	// Checkpoint, when non-empty, is the runner's journal directory:
+	// completed results are saved there and reloaded on a resumed run.
+	Checkpoint string
+	// Failures, when non-nil, collects failed jobs so the driver finishes
+	// its table with the rows that did complete. When nil, the first
+	// failure panics (the pre-Report fail-fast behavior benchmarks and
+	// tests rely on).
+	Failures *runner.FailureLog
 }
 
 // fill resolves defaults from the sim package's canonical constants, so the
@@ -112,7 +128,18 @@ func (s Settings) config(w *workload.Spec, p sim.PolicyKind) sim.Config {
 // profiles of a full run can be sliced per figure (and, via the per-job
 // workload/policy label the runner adds, per grid cell).
 func (s Settings) run(label string, jobs []runner.Job) {
-	runner.Execute(jobs, runner.Options{Parallelism: s.Parallelism, Label: label})
+	rep := runner.Execute(jobs, runner.Options{
+		Parallelism: s.Parallelism,
+		Label:       label,
+		Context:     s.Ctx,
+		JobTimeout:  s.Timeout,
+		Checkpoint:  s.Checkpoint,
+	})
+	if s.Failures != nil {
+		s.Failures.Add(rep)
+		return
+	}
+	rep.MustOK()
 }
 
 // gb renders bytes as a GB quantity with two decimals (Table 3's unit).

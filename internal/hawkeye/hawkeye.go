@@ -117,37 +117,43 @@ func (d *Daemon) Sample(t *kernel.Task) []candidate {
 
 // ScanTask runs one sample-and-promote pass, promoting the hottest spans
 // first, within budgetNs of modeled daemon time (<= 0 means unlimited).
-// It returns the nanoseconds spent.
-func (d *Daemon) ScanTask(t *kernel.Task, budgetNs float64) float64 {
+// It returns the nanoseconds spent; a non-nil error means a collapse failed
+// midway through its remap.
+func (d *Daemon) ScanTask(t *kernel.Task, budgetNs float64) (float64, error) {
 	startNs := d.totalNs()
 	spent := func() float64 { return d.totalNs() - startNs }
 	for _, c := range d.Sample(t) {
 		if c.coverage < d.CoverageThreshold {
 			break // sorted: everything after is colder
 		}
-		d.promote2M(t, c.va)
+		if err := d.promote2M(t, c.va); err != nil {
+			return spent(), err
+		}
 		if budgetNs > 0 && spent() > budgetNs {
 			break
 		}
 	}
-	return spent()
+	return spent(), nil
 }
 
-func (d *Daemon) promote2M(t *kernel.Task, va uint64) {
+func (d *Daemon) promote2M(t *kernel.Task, va uint64) error {
 	d.S.Attempts2M++
 	pfn, err := d.K.Buddy.Alloc(units.Order2M, false)
 	if err != nil {
 		if !d.Normal.Compact(units.Order2M) {
 			d.S.Failed2M++
-			return
+			return nil
 		}
 		pfn, err = d.K.Buddy.Alloc(units.Order2M, false)
 		if err != nil {
 			d.S.Failed2M++
-			return
+			return nil
 		}
 	}
-	populated, ns := promote.Collapse(d.K, t, va, units.Size2M, pfn, false)
+	populated, ns, err := promote.Collapse(d.K, t, va, units.Size2M, pfn, false)
+	if err != nil {
+		return err
+	}
 	d.S.Promoted2M++
 	d.S.BytesCopied += populated
 	d.S.BloatBytes += units.Page2M - populated
@@ -155,6 +161,7 @@ func (d *Daemon) promote2M(t *kernel.Task, va uint64) {
 	if populated < units.Page2M {
 		d.bloat[bloatKey{t.AS.ID, va}] = populated
 	}
+	return nil
 }
 
 // TrackPromotion lets another promotion engine (e.g. Trident's khugepaged)

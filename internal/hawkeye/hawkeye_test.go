@@ -194,7 +194,10 @@ func TestKbinmanagerCostsAccrue(t *testing.T) {
 	va, _ := task.AS.MMapAligned(8*units.Page2M, units.Page2M, vmm.KindAnon)
 	populate(t, k, task, va, 512*8, true)
 	d := New(k)
-	ns := d.ScanTask(task, 0)
+	ns, err := d.ScanTask(task, 0)
+	if err != nil {
+		t.Fatalf("ScanTask: %v", err)
+	}
 	if ns <= 0 || d.S.Nanoseconds <= 0 {
 		t.Error("daemon time not accounted")
 	}

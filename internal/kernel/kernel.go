@@ -178,7 +178,7 @@ func (k *Kernel) ExchangeFrames(t1 *Task, va1 uint64, t2 *Task, va2 uint64, size
 	if err := t2.AS.PT.Replace(va2, size, m1.PFN); err != nil {
 		// Roll back.
 		if rbErr := t1.AS.PT.Replace(va1, size, m1.PFN); rbErr != nil {
-			panic(fmt.Sprintf("kernel: exchange rollback failed: %v", rbErr))
+			return fmt.Errorf("kernel: exchange rollback at %#x failed: %v (after: %w)", va1, rbErr, err)
 		}
 		return err
 	}
@@ -194,8 +194,9 @@ func (k *Kernel) ExchangeFrames(t1 *Task, va1 uint64, t2 *Task, va2 uint64, size
 // UnmapRange tears down every mapping intersecting [lo, hi), freeing the
 // frames. Huge mappings straddling the boundary are demoted until the
 // pieces inside the range can be freed exactly (what munmap does when a THP
-// page straddles the unmapped region).
-func (k *Kernel) UnmapRange(t *Task, lo, hi uint64) {
+// page straddles the unmapped region). A non-nil error means the range is
+// partially unmapped and the address space should be treated as suspect.
+func (k *Kernel) UnmapRange(t *Task, lo, hi uint64) error {
 	for {
 		var straddler uint64
 		var found bool
@@ -210,16 +211,16 @@ func (k *Kernel) UnmapRange(t *Task, lo, hi uint64) {
 		})
 		if found {
 			if err := k.DemotePage(t, straddler); err != nil {
-				panic(fmt.Sprintf("kernel: UnmapRange demote at %#x: %v", straddler, err))
+				return fmt.Errorf("kernel: UnmapRange demote at %#x: %w", straddler, err)
 			}
 			continue
 		}
 		for _, m := range inside {
 			if err := k.UnmapFree(t, m.VA, m.Size); err != nil {
-				panic(fmt.Sprintf("kernel: UnmapRange free at %#x: %v", m.VA, err))
+				return fmt.Errorf("kernel: UnmapRange free at %#x: %w", m.VA, err)
 			}
 		}
-		return
+		return nil
 	}
 }
 
@@ -274,6 +275,17 @@ func (k *Kernel) KernelFree(pfn uint64) error {
 	delete(k.kernelAllocs, pfn)
 	k.Buddy.Free(pfn, order)
 	return nil
+}
+
+// ForEachKernelAlloc visits every live kernel allocation as (head PFN,
+// order). Iteration order is unspecified; the invariant auditor sorts what
+// it needs. Return false to stop early.
+func (k *Kernel) ForEachKernelAlloc(fn func(pfn uint64, order int) bool) {
+	for pfn, order := range k.kernelAllocs {
+		if !fn(pfn, order) {
+			return
+		}
+	}
 }
 
 // MovableAlloc allocates a movable chunk that is NOT mapped by any task —

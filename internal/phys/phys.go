@@ -235,6 +235,20 @@ func (m *Memory) OwnerOf(pfn uint64) (Owner, uint64, bool) {
 	return Owner{}, 0, false
 }
 
+// ForEachOwner visits every registered mapping head as (head PFN, owner),
+// in ascending PFN order. Return false to stop early. The invariant auditor
+// uses this to cross-check the reverse map against the page tables.
+func (m *Memory) ForEachOwner(fn func(pfn uint64, o Owner) bool) {
+	for pfn, idx := range m.rmap {
+		if idx == 0 {
+			continue
+		}
+		if !fn(uint64(pfn), m.owners[idx]) {
+			return
+		}
+	}
+}
+
 // AllocatedInRange counts allocated frames in [pfn, pfn+count).
 func (m *Memory) AllocatedInRange(pfn, count uint64) uint64 {
 	m.checkRange(pfn, count)

@@ -21,6 +21,7 @@
 package promote
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/compact"
@@ -115,6 +116,10 @@ type Daemon struct {
 	// with the source and destination guest-physical addresses; the
 	// virtualization layer applies the corresponding hPA mapping swap.
 	OnExchange func(srcGPA, dstGPA uint64)
+	// Abort, if set, is consulted after an attempt is counted but before
+	// any state changes; returning true records the attempt as failed and
+	// moves on (the chaos injector's promotion-abort knob).
+	Abort func() bool
 
 	S Stats
 
@@ -151,8 +156,10 @@ func NewTrident(k *kernel.Kernel, zero *zerofill.Daemon) *Daemon {
 // budgetNs <= 0 means unlimited. A full pass visits every 2MB-aligned span
 // once, starting from the per-task resume cursor (so a budget-limited scan
 // continues where the previous one stopped). It returns the modeled
-// nanoseconds spent, including compaction triggered by this scan.
-func (d *Daemon) ScanTask(t *kernel.Task, budgetNs float64) float64 {
+// nanoseconds spent, including compaction triggered by this scan. A non-nil
+// error means a collapse failed midway through its remap — a kernel-model
+// inconsistency that the caller should surface, not ignore.
+func (d *Daemon) ScanTask(t *kernel.Task, budgetNs float64) (float64, error) {
 	startNs := d.totalNs()
 	spent := func() float64 { return d.totalNs() - startNs }
 
@@ -162,40 +169,50 @@ func (d *Daemon) ScanTask(t *kernel.Task, budgetNs float64) float64 {
 		return true
 	})
 	if len(spans) == 0 {
-		return 0
+		return 0, nil
 	}
 	d.defer1G = false
 	begin := sort.Search(len(spans), func(i int) bool { return spans[i] >= d.resume[t] })
 	for i := 0; i < len(spans); i++ {
 		span := spans[(begin+i)%len(spans)]
-		d.processSpan(t, span)
+		err := d.processSpan(t, span)
 		d.resume[t] = span + units.Page2M
+		if err != nil {
+			return spent(), err
+		}
 		if budgetNs > 0 && spent() > budgetNs {
 			break
 		}
 	}
-	return spent()
+	return spent(), nil
 }
 
 // processSpan applies Figure 5's per-region logic to the 2MB span at va.
-func (d *Daemon) processSpan(t *kernel.Task, va uint64) {
+func (d *Daemon) processSpan(t *kernel.Task, va uint64) error {
 	d.S.Nanoseconds += scanNsPer2MSpan
 	// If a 1GB mapping covers this span, nothing to do.
 	if m, ok := t.AS.PT.Lookup(va); ok && m.Size == units.Size1G {
-		return
+		return nil
 	}
 	// Try 1GB promotion when this span opens a 1GB-mappable region.
 	if d.Enable1G && !d.defer1G && units.IsAligned(va, units.Page1G) {
 		if head, ok := t.AS.AlignedRangeAt(va, units.Size1G); ok && head == va {
-			if d.try1G(t, head) {
-				return
+			promoted, err := d.try1G(t, head)
+			if err != nil {
+				return err
+			}
+			if promoted {
+				return nil
 			}
 		}
 	}
 	// 2MB promotion of this span if it is mapped with 4KB pages.
 	if !d.Disable2M {
-		d.try2M(t, va)
+		if _, err := d.try2M(t, va); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // rangePopulation sums the populated bytes in [va, va+size) and reports
@@ -212,7 +229,7 @@ func rangePopulation(t *kernel.Task, va uint64, size units.PageSize) (populated 
 	return populated, alreadyHuge
 }
 
-func (d *Daemon) try1G(t *kernel.Task, va uint64) bool {
+func (d *Daemon) try1G(t *kernel.Task, va uint64) (bool, error) {
 	d.S.Nanoseconds += scanNsPer1GSpan - scanNsPer2MSpan
 	populated, alreadyHuge := rangePopulation(t, va, units.Size1G)
 	if alreadyHuge || populated == 0 {
@@ -220,14 +237,19 @@ func (d *Daemon) try1G(t *kernel.Task, va uint64) bool {
 		// criticism of the promotion-only 1GB patch set [59] is precisely
 		// that it moves data even when the fault path could have mapped
 		// 1GB directly).
-		return false
+		return false, nil
 	}
 	d.S.Attempts1G++
+	if d.Abort != nil && d.Abort() {
+		d.S.Failed1G++
+		d.defer1G = true
+		return false, nil
+	}
 	pfn, zeroed, ok := d.alloc1G()
 	if !ok {
 		d.S.Failed1G++
 		d.defer1G = true
-		return false
+		return false, nil
 	}
 	// Move populated contents into the new chunk.
 	var moveNs float64
@@ -266,13 +288,13 @@ func (d *Daemon) try1G(t *kernel.Task, va uint64) bool {
 	for _, m := range toFree {
 		old, err := d.K.UnmapKeep(t, m.VA, m.Size)
 		if err != nil {
-			panic("promote: unmap during collapse failed: " + err.Error())
+			return false, fmt.Errorf("promote: unmap of %v page at %#x during 1GB collapse at %#x: %w", m.Size, m.VA, va, err)
 		}
 		d.K.Buddy.Free(old, m.Size.Order())
 		moveNs += perfmodel.PTEUpdateNs
 	}
 	if err := d.K.MapSpecific(t, va, pfn, units.Size1G); err != nil {
-		panic("promote: mapping collapsed 1GB page failed: " + err.Error())
+		return false, fmt.Errorf("promote: mapping collapsed 1GB page at %#x: %w", va, err)
 	}
 	d.S.Promoted[units.Size1G]++
 	d.S.BytesCopied += copied
@@ -283,7 +305,7 @@ func (d *Daemon) try1G(t *kernel.Task, va uint64) bool {
 	if d.OnPromote != nil {
 		d.OnPromote(t, va, units.Size1G, populated)
 	}
-	return true
+	return true, nil
 }
 
 // alloc1G obtains a 1GB chunk: pre-zeroed pool, then buddy, then compaction
@@ -316,25 +338,32 @@ func (d *Daemon) alloc1G() (pfn uint64, zeroed, ok bool) {
 	return pfn, false, true
 }
 
-func (d *Daemon) try2M(t *kernel.Task, va uint64) bool {
+func (d *Daemon) try2M(t *kernel.Task, va uint64) (bool, error) {
 	populated, alreadyHuge := rangePopulation(t, va, units.Size2M)
 	if alreadyHuge || populated == 0 {
-		return false
+		return false, nil
 	}
 	d.S.Attempts2M++
+	if d.Abort != nil && d.Abort() {
+		d.S.Failed2M++
+		return false, nil
+	}
 	pfn, err := d.K.Buddy.Alloc(units.Order2M, false)
 	if err != nil {
 		if !d.Normal.Compact(units.Order2M) {
 			d.S.Failed2M++
-			return false
+			return false, nil
 		}
 		pfn, err = d.K.Buddy.Alloc(units.Order2M, false)
 		if err != nil {
 			d.S.Failed2M++
-			return false
+			return false, nil
 		}
 	}
-	gotPopulated, moveNs := Collapse(d.K, t, va, units.Size2M, pfn, false)
+	gotPopulated, moveNs, err := Collapse(d.K, t, va, units.Size2M, pfn, false)
+	if err != nil {
+		return false, err
+	}
 	d.S.Promoted[units.Size2M]++
 	d.S.BytesCopied += gotPopulated
 	d.S.BloatBytes += units.Page2M - gotPopulated
@@ -343,7 +372,7 @@ func (d *Daemon) try2M(t *kernel.Task, va uint64) bool {
 	if d.OnPromote != nil {
 		d.OnPromote(t, va, units.Size2M, gotPopulated)
 	}
-	return true
+	return true, nil
 }
 
 // Collapse remaps [va, va+size.Bytes()) onto the pre-allocated huge chunk
@@ -351,8 +380,10 @@ func (d *Daemon) try2M(t *kernel.Task, va uint64) bool {
 // the chunk came pre-zeroed), the old mappings are torn down and their
 // frames freed, and the huge mapping is installed. It returns the populated
 // bytes and the modeled nanoseconds of the collapse. Shared by khugepaged
-// (this package) and HawkEye's coverage-ordered promotion.
-func Collapse(k *kernel.Kernel, t *kernel.Task, va uint64, size units.PageSize, pfn uint64, zeroed bool) (uint64, float64) {
+// (this package) and HawkEye's coverage-ordered promotion. A non-nil error
+// means the remap failed midway — the caller should stop the scan and
+// surface it rather than continue on an inconsistent address space.
+func Collapse(k *kernel.Kernel, t *kernel.Task, va uint64, size units.PageSize, pfn uint64, zeroed bool) (uint64, float64, error) {
 	var populated uint64
 	var toFree []pagetable.Mapping
 	t.AS.PT.ForEach(va, va+size.Bytes(), func(m pagetable.Mapping) bool {
@@ -367,15 +398,15 @@ func Collapse(k *kernel.Kernel, t *kernel.Task, va uint64, size units.PageSize, 
 	for _, m := range toFree {
 		old, err := k.UnmapKeep(t, m.VA, m.Size)
 		if err != nil {
-			panic("promote: unmap during collapse failed: " + err.Error())
+			return 0, moveNs, fmt.Errorf("promote: unmap of %v page at %#x during %v collapse at %#x: %w", m.Size, m.VA, size, va, err)
 		}
 		k.Buddy.Free(old, m.Size.Order())
 		moveNs += perfmodel.PTEUpdateNs
 	}
 	if err := k.MapSpecific(t, va, pfn, size); err != nil {
-		panic("promote: mapping collapsed huge page failed: " + err.Error())
+		return 0, moveNs, fmt.Errorf("promote: mapping collapsed %v page at %#x: %w", size, va, err)
 	}
-	return populated, moveNs
+	return populated, moveNs, nil
 }
 
 // totalNs is the daemon's own time plus its compactors' time, used for

@@ -1,0 +1,75 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// checkpoint journals completed simulator results to a directory, one JSON
+// file per memo key. The file name is a hash of the key's canonical %#v
+// rendering — legal because cacheKey holds only value data (no pointers),
+// so the rendering, and therefore the name, is identical across processes.
+// That makes the journal exactly as precise as the in-process memo cache: a
+// resumed run reloads precisely the configurations it already computed, and
+// any config change falls through to a fresh computation.
+//
+// sim.Result round-trips losslessly through JSON (exported value fields
+// only; Go prints float64s in shortest-exact form), so a table built from
+// reloaded results is byte-identical to one built from live runs.
+type checkpoint struct {
+	dir     string
+	mkdir   sync.Once
+	mkdirOK error
+}
+
+func (c *checkpoint) path(key cacheKey) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%#v", key)))
+	return filepath.Join(c.dir, hex.EncodeToString(sum[:])+".json")
+}
+
+// load returns the journaled result for key, or ok=false if none exists. A
+// file that fails to decode — a write torn by the crash being recovered
+// from — is treated as absent, so the experiment is recomputed rather than
+// resumed wrong. (save writes via rename, so torn files are unexpected; the
+// decode check is the backstop.)
+func (c *checkpoint) load(key cacheKey) (*sim.Result, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var res sim.Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, false
+	}
+	return &res, true
+}
+
+// save journals res under key, atomically: the JSON is written to a
+// temporary file and renamed into place, so a crash mid-save leaves either
+// the complete file or nothing.
+func (c *checkpoint) save(key cacheKey, res *sim.Result) error {
+	c.mkdir.Do(func() { c.mkdirOK = os.MkdirAll(c.dir, 0o755) })
+	if c.mkdirOK != nil {
+		return fmt.Errorf("runner: checkpoint dir: %w", c.mkdirOK)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("runner: checkpoint encode: %w", err)
+	}
+	path := c.path(key)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("runner: checkpoint write: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("runner: checkpoint publish: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+package runner
+
+import "sync"
+
+// FailureLog accumulates Failures across Execute batches. A multi-figure
+// experiments run hands one log to every driver (via
+// experiments.Settings.Failures); each driver's batch appends its failures,
+// and the command reports them all at the end instead of dying at the first.
+type FailureLog struct {
+	mu    sync.Mutex
+	fails []Failure
+}
+
+// Add appends a report's failures.
+func (l *FailureLog) Add(rep *Report) {
+	if rep.OK() {
+		return
+	}
+	l.mu.Lock()
+	l.fails = append(l.fails, rep.Failures...)
+	l.mu.Unlock()
+}
+
+// All returns the accumulated failures in insertion order.
+func (l *FailureLog) All() []Failure {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Failure(nil), l.fails...)
+}
+
+// Empty reports whether nothing failed.
+func (l *FailureLog) Empty() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.fails) == 0
+}

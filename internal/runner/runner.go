@@ -16,16 +16,27 @@
 // every recurrence from the cache.
 // Duplicate configs submitted concurrently are collapsed too: the first
 // worker computes, the rest wait (single-flight).
+//
+// Failures are isolated, not fatal: a job that panics, returns an error, or
+// is cancelled becomes a Failure record in the Report Execute returns, while
+// every other job still runs and delivers (DESIGN.md §6). Options.Context
+// and Options.JobTimeout bound a batch and each job; Options.Checkpoint
+// journals each completed simulator result to disk so a killed run can be
+// resumed without recomputing finished experiments.
 package runner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/sim"
 	"repro/internal/tlb"
 	"repro/internal/workload"
@@ -73,18 +84,119 @@ type Options struct {
 	// pprof label; simulator jobs additionally carry a "job" label of the
 	// form "workload/policy". CPU profiles of a full experiments run can
 	// then be sliced per figure and per grid cell with `go tool pprof
-	// -tagfocus`.
+	// -tagfocus`. It also names the experiment in Failure records.
 	Label string
+
+	// Context cancels the whole batch: running simulator jobs stop at their
+	// next access-batch boundary, not-yet-started jobs are skipped, and
+	// both become Failure records. nil means context.Background().
+	Context context.Context
+	// JobTimeout bounds each job individually (simulator jobs only; Func
+	// jobs have no cancellation point). <= 0 means no per-job limit.
+	JobTimeout time.Duration
+	// Checkpoint, when non-empty, is a directory where each completed
+	// simulator result is journaled as one JSON file named by the job's
+	// memo fingerprint, and from which previously journaled results are
+	// reloaded instead of recomputed. Because the fingerprint is the same
+	// canonical key the memo cache uses, resuming a killed run replays
+	// finished experiments byte-identically and computes only the rest.
+	// The directory must be cleared when the simulator changes; the
+	// journal records results, not the code that produced them.
+	Checkpoint string
+}
+
+// Failure describes one job that did not deliver: its sim ended in an error,
+// its function panicked, a callback panicked, or cancellation reached it
+// first. The zero Index is meaningful; check Phase to see how far it got.
+type Failure struct {
+	// Index is the job's submission index within its Execute batch.
+	Index int
+	// Experiment is the Options.Label of the batch.
+	Experiment string
+	// Name identifies the job: "workload/policy" for simulator jobs,
+	// "func" for function jobs.
+	Name string
+	// Phase says where the failure happened: "run" (the sim or function
+	// itself), "build"/"commit" (the submission-order callback — typically
+	// a driver dereferencing the result of an earlier failed job), or
+	// "skipped" (cancelled before the job started).
+	Phase string
+	// Err is the error returned by the run (nil if the job panicked).
+	Err error
+	// Panic is the recovered panic value (nil if the job errored).
+	Panic any
+	// Stack is the goroutine stack captured where the panic was recovered.
+	Stack string
+	// Cfg is the job's simulator configuration (zero for function jobs).
+	Cfg sim.Config
+}
+
+// Reason renders the failure as one line.
+func (f *Failure) Reason() string {
+	where := f.Name
+	if f.Experiment != "" {
+		where = f.Experiment + "/" + f.Name
+	}
+	switch {
+	case f.Panic != nil:
+		return fmt.Sprintf("%s: panic in %s phase: %v", where, f.Phase, f.Panic)
+	case f.Phase == "skipped":
+		return fmt.Sprintf("%s: skipped: %v", where, f.Err)
+	default:
+		return fmt.Sprintf("%s: %v", where, f.Err)
+	}
+}
+
+// Cancelled reports whether the failure is a cancellation (batch context or
+// per-job timeout) rather than a wrong machine.
+func (f *Failure) Cancelled() bool {
+	return f.Err != nil && (errors.Is(f.Err, context.Canceled) || errors.Is(f.Err, context.DeadlineExceeded))
+}
+
+// Report is the outcome of one Execute batch.
+type Report struct {
+	// Jobs is the batch size.
+	Jobs int
+	// Failures lists the jobs that did not deliver, in submission order.
+	// Empty means every callback ran.
+	Failures []Failure
+}
+
+// OK reports whether every job delivered.
+func (r *Report) OK() bool { return len(r.Failures) == 0 }
+
+// MustOK panics on the first failure by submission index. Callers that have
+// nowhere to record failures (benchmarks, tests) use it to keep the
+// pre-Report fail-fast behavior.
+func (r *Report) MustOK() {
+	if !r.OK() {
+		f := &r.Failures[0]
+		if f.Panic != nil && f.Stack != "" {
+			panic(fmt.Sprintf("runner: %s\n%s", f.Reason(), f.Stack))
+		}
+		panic("runner: " + f.Reason())
+	}
 }
 
 // Execute runs jobs concurrently on a worker pool and then invokes each
-// job's Build/Commit callback in submission order. A job whose sim.Run
-// returns an error, or whose function panics, re-raises on the calling
-// goroutine — also in submission order, so the first failing job by
-// submission index wins regardless of scheduling.
-func Execute(jobs []Job, opts Options) {
+// job's Build/Commit callback in submission order. A job that panics,
+// errors, or is cancelled does not stop the batch: it becomes a Failure in
+// the returned Report (with the panic's stack and the job's config), its
+// callback is skipped, and every other job still runs and delivers. A panic
+// inside a Build/Commit callback is captured the same way, so one failed
+// experiment cannot take down the driver building rows from the others.
+func Execute(jobs []Job, opts Options) *Report {
+	rep := &Report{Jobs: len(jobs)}
 	if len(jobs) == 0 {
-		return
+		return rep
+	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var ckpt *checkpoint
+	if opts.Checkpoint != "" {
+		ckpt = &checkpoint{dir: opts.Checkpoint}
 	}
 	workers := opts.Parallelism
 	if workers <= 0 {
@@ -97,6 +209,8 @@ func Execute(jobs []Job, opts Options) {
 	outs := make([]any, len(jobs))
 	errs := make([]error, len(jobs))
 	panics := make([]any, len(jobs))
+	stacks := make([]string, len(jobs))
+	skipped := make([]bool, len(jobs))
 
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -109,37 +223,80 @@ func Execute(jobs []Job, opts Options) {
 				if i >= len(jobs) {
 					return
 				}
+				if err := ctx.Err(); err != nil {
+					skipped[i] = true
+					errs[i] = fmt.Errorf("runner: batch cancelled before job started: %w", err)
+					continue
+				}
+				jctx, cancel := ctx, context.CancelFunc(func() {})
+				if opts.JobTimeout > 0 {
+					jctx, cancel = context.WithTimeout(ctx, opts.JobTimeout)
+				}
 				pprof.Do(context.Background(), jobLabels(&jobs[i], opts.Label), func(context.Context) {
-					runJob(&jobs[i], &outs[i], &errs[i], &panics[i], opts.NoCache)
+					runJob(jctx, &jobs[i], &outs[i], &errs[i], &panics[i], &stacks[i], opts.NoCache, ckpt)
 				})
+				cancel()
 			}
 		}()
 	}
 	wg.Wait()
 
 	for i := range jobs {
-		if panics[i] != nil {
-			panic(panics[i])
-		}
-		if errs[i] != nil {
-			j := &jobs[i]
-			name := "?"
-			if j.Cfg.Workload != nil {
-				name = j.Cfg.Workload.Name
-			}
-			panic(fmt.Sprintf("runner: %s/%v: %v", name, j.Cfg.Policy, errs[i]))
-		}
-		switch j := &jobs[i]; {
-		case j.Run != nil:
-			if j.Commit != nil {
-				j.Commit(outs[i])
-			}
+		j := &jobs[i]
+		switch {
+		case panics[i] != nil:
+			rep.fail(Failure{Index: i, Experiment: opts.Label, Name: jobName(j),
+				Phase: "run", Panic: panics[i], Stack: stacks[i], Cfg: j.Cfg})
+		case skipped[i]:
+			rep.fail(Failure{Index: i, Experiment: opts.Label, Name: jobName(j),
+				Phase: "skipped", Err: errs[i], Cfg: j.Cfg})
+		case errs[i] != nil:
+			rep.fail(Failure{Index: i, Experiment: opts.Label, Name: jobName(j),
+				Phase: "run", Err: errs[i], Cfg: j.Cfg})
 		default:
-			if j.Build != nil {
-				j.Build(outs[i].(*sim.Result))
-			}
+			deliver(j, i, outs[i], opts.Label, rep)
 		}
 	}
+	return rep
+}
+
+func (r *Report) fail(f Failure) { r.Failures = append(r.Failures, f) }
+
+// deliver invokes the job's submission-order callback, capturing a panic as
+// a build/commit-phase Failure. The common source is a driver closure
+// dereferencing the baseline result of an earlier job that itself failed.
+func deliver(j *Job, i int, out any, label string, rep *Report) {
+	phase := "build"
+	if j.Run != nil {
+		phase = "commit"
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			rep.fail(Failure{Index: i, Experiment: label, Name: jobName(j),
+				Phase: phase, Panic: p, Stack: string(debug.Stack()), Cfg: j.Cfg})
+		}
+	}()
+	if j.Run != nil {
+		if j.Commit != nil {
+			j.Commit(out)
+		}
+		return
+	}
+	if j.Build != nil {
+		j.Build(out.(*sim.Result))
+	}
+}
+
+// jobName identifies a job in Failure records and panic messages.
+func jobName(j *Job) string {
+	if j.Run != nil {
+		return "func"
+	}
+	name := "?"
+	if j.Cfg.Workload != nil {
+		name = j.Cfg.Workload.Name
+	}
+	return fmt.Sprintf("%s/%v", name, j.Cfg.Policy)
 }
 
 // jobLabels builds the pprof label set for one job: the Execute-level
@@ -155,17 +312,18 @@ func jobLabels(j *Job, label string) pprof.LabelSet {
 	return pprof.Labels(kv...)
 }
 
-func runJob(j *Job, out *any, err *error, panicked *any, noCache bool) {
+func runJob(ctx context.Context, j *Job, out *any, err *error, panicked *any, stack *string, noCache bool, ckpt *checkpoint) {
 	defer func() {
 		if p := recover(); p != nil {
 			*panicked = p
+			*stack = string(debug.Stack())
 		}
 	}()
 	if j.Run != nil {
 		*out = j.Run()
 		return
 	}
-	res, e := cachedRun(j.Cfg, noCache)
+	res, e := cachedRun(ctx, j.Cfg, noCache, ckpt)
 	*out, *err = res, e
 }
 
@@ -174,6 +332,9 @@ func runJob(j *Job, out *any, err *error, panicked *any, noCache bool) {
 // distinct pointers to equal specs (workload.All allocates fresh specs per
 // call) still hit. A reflection guard in runner_test.go pins sim.Config's
 // field count: adding a Config field without extending this key fails tests.
+// Every field is plain value data (no pointers), so fmt's %#v rendering of a
+// key is stable across processes — the checkpoint journal hashes it to name
+// files.
 type cacheKey struct {
 	workload             workload.Spec
 	tlb                  tlb.Config
@@ -190,6 +351,8 @@ type cacheKey struct {
 	pv                   bool
 	pvUnbatched          bool
 	shadowCheck          bool
+	chaos                chaos.Config
+	auditEvery           int
 }
 
 func keyOf(cfg sim.Config) cacheKey {
@@ -210,6 +373,8 @@ func keyOf(cfg sim.Config) cacheKey {
 		pv:                   cfg.Pv,
 		pvUnbatched:          cfg.PvUnbatched,
 		shadowCheck:          cfg.ShadowCheck,
+		chaos:                cfg.Chaos,
+		auditEvery:           cfg.AuditEvery,
 	}
 }
 
@@ -227,14 +392,15 @@ var (
 	cache   = map[cacheKey]*entry{}
 	hits    atomic.Uint64
 	misses  atomic.Uint64
+	resumed atomic.Uint64
 )
 
 // cachedRun executes cfg through the memo cache. Results are shared across
 // callers and must be treated as immutable (sim.Result is plain measured
 // data; drivers only read it).
-func cachedRun(cfg sim.Config, noCache bool) (*sim.Result, error) {
+func cachedRun(ctx context.Context, cfg sim.Config, noCache bool, ckpt *checkpoint) (*sim.Result, error) {
 	if noCache || cfg.Workload == nil {
-		return sim.Run(cfg)
+		return sim.RunContext(ctx, cfg)
 	}
 	key := keyOf(cfg)
 	cacheMu.Lock()
@@ -248,16 +414,37 @@ func cachedRun(cfg sim.Config, noCache bool) (*sim.Result, error) {
 	first := false
 	e.once.Do(func() {
 		first = true
-		misses.Add(1)
 		defer func() {
 			if p := recover(); p != nil {
 				e.panicked = p
 			}
 		}()
-		e.res, e.err = sim.Run(cfg)
+		if ckpt != nil {
+			if res, ok := ckpt.load(key); ok {
+				resumed.Add(1)
+				e.res = res
+				return
+			}
+		}
+		misses.Add(1)
+		e.res, e.err = sim.RunContext(ctx, cfg)
+		if e.err == nil && ckpt != nil {
+			e.err = ckpt.save(key, e.res)
+		}
 	})
 	if !first {
 		hits.Add(1)
+	}
+	if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+		// A cancelled run is an absence of a result, not a result: drop the
+		// entry so a later Execute — the same process retrying, or a
+		// checkpoint-resumed batch — recomputes instead of replaying the
+		// cancellation forever.
+		cacheMu.Lock()
+		if cache[key] == e {
+			delete(cache, key)
+		}
+		cacheMu.Unlock()
 	}
 	if e.panicked != nil {
 		panic(e.panicked)
@@ -267,9 +454,11 @@ func cachedRun(cfg sim.Config, noCache bool) (*sim.Result, error) {
 
 // CacheStats reports the memo cache's cumulative activity. Misses count
 // actual sim.Run executions through the cache; hits count runs served from
-// (or collapsed into) an existing entry.
+// (or collapsed into) an existing entry; resumed counts runs reloaded from a
+// checkpoint journal instead of executed.
 type CacheStats struct {
 	Hits, Misses uint64
+	Resumed      uint64
 	Entries      int
 }
 
@@ -278,7 +467,7 @@ func Cache() CacheStats {
 	cacheMu.Lock()
 	n := len(cache)
 	cacheMu.Unlock()
-	return CacheStats{Hits: hits.Load(), Misses: misses.Load(), Entries: n}
+	return CacheStats{Hits: hits.Load(), Misses: misses.Load(), Resumed: resumed.Load(), Entries: n}
 }
 
 // ResetCache drops all memoized results and zeroes the counters. Tests use
@@ -290,4 +479,5 @@ func ResetCache() {
 	cacheMu.Unlock()
 	hits.Store(0)
 	misses.Store(0)
+	resumed.Store(0)
 }

@@ -1,13 +1,18 @@
 package runner
 
 import (
+	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/tlb"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -140,18 +145,10 @@ func TestSubmissionOrderCallbacks(t *testing.T) {
 	}
 }
 
-// TestPanicSubmissionOrder: when several jobs fail, the panic that surfaces
-// must be the first failing job by submission index, not by completion time.
-func TestPanicSubmissionOrder(t *testing.T) {
-	defer func() {
-		p := recover()
-		if p == nil {
-			t.Fatal("expected a panic")
-		}
-		if s, ok := p.(string); !ok || !strings.Contains(s, "job 3") {
-			t.Fatalf("expected the lowest-index failure (job 3), got %v", p)
-		}
-	}()
+// TestFailuresInSubmissionOrder: when several jobs fail, Report.Failures is
+// ordered by submission index regardless of completion order, and MustOK
+// surfaces the lowest-index failure.
+func TestFailuresInSubmissionOrder(t *testing.T) {
 	var jobs []Job
 	for i := 0; i < 8; i++ {
 		i := i
@@ -162,7 +159,200 @@ func TestPanicSubmissionOrder(t *testing.T) {
 			return nil
 		}, nil))
 	}
-	Execute(jobs, Options{Parallelism: 8})
+	rep := Execute(jobs, Options{Parallelism: 8})
+	if len(rep.Failures) != 5 {
+		t.Fatalf("got %d failures, want 5: %+v", len(rep.Failures), rep.Failures)
+	}
+	for k := range rep.Failures {
+		if rep.Failures[k].Index != k+3 {
+			t.Fatalf("failure %d has index %d, want %d (submission order)", k, rep.Failures[k].Index, k+3)
+		}
+	}
+	defer func() {
+		p := recover()
+		if p == nil || !strings.Contains(fmt.Sprint(p), "job 3") {
+			t.Fatalf("MustOK must re-raise the lowest-index failure (job 3), got %v", p)
+		}
+	}()
+	rep.MustOK()
+}
+
+// TestFailureIsolation is the contract the experiments command depends on:
+// one job of three panics, the other two still complete and their callbacks
+// fire, and the Failure record is fully populated.
+func TestFailureIsolation(t *testing.T) {
+	var got []int
+	jobs := []Job{
+		Func(func() any { return 0 }, func(v any) { got = append(got, v.(int)) }),
+		Func(func() any { panic("injected failure") }, nil),
+		Func(func() any { return 2 }, func(v any) { got = append(got, v.(int)) }),
+	}
+	rep := Execute(jobs, Options{Parallelism: 3, Label: "iso"})
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("surviving callbacks got %v, want [0 2]", got)
+	}
+	if len(rep.Failures) != 1 {
+		t.Fatalf("got %d failures, want 1: %+v", len(rep.Failures), rep.Failures)
+	}
+	f := rep.Failures[0]
+	if f.Index != 1 || f.Phase != "run" || f.Experiment != "iso" || f.Name != "func" {
+		t.Fatalf("failure record wrong: %+v", f)
+	}
+	if f.Panic != any("injected failure") {
+		t.Fatalf("panic value = %v", f.Panic)
+	}
+	if !strings.Contains(f.Stack, "runner_test") {
+		t.Fatalf("stack does not reach the panic site:\n%s", f.Stack)
+	}
+	if f.Cancelled() {
+		t.Fatal("a panic is not a cancellation")
+	}
+}
+
+// TestCallbackPanicCaptured: a panic inside a submission-order callback —
+// the driver-dereferences-failed-baseline case — is captured as a
+// build/commit-phase failure and later callbacks still run.
+func TestCallbackPanicCaptured(t *testing.T) {
+	var after bool
+	jobs := []Job{
+		Func(func() any { return nil }, func(any) {
+			var base *sim.Result
+			_ = base.Workload // nil deref: baseline job "failed"
+		}),
+		Func(func() any { return nil }, func(any) { after = true }),
+	}
+	rep := Execute(jobs, Options{Parallelism: 2})
+	if !after {
+		t.Fatal("callback after the panicking one did not run")
+	}
+	if len(rep.Failures) != 1 || rep.Failures[0].Phase != "commit" || rep.Failures[0].Panic == nil {
+		t.Fatalf("expected one commit-phase panic failure, got %+v", rep.Failures)
+	}
+}
+
+// TestCancelledBatchSkips: a cancelled context stops unstarted jobs, which
+// are reported as skipped cancellations rather than executed.
+func TestCancelledBatchSkips(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	jobs := []Job{
+		Func(func() any { ran.Add(1); return nil }, nil),
+		Func(func() any { ran.Add(1); return nil }, nil),
+		Func(func() any { ran.Add(1); return nil }, nil),
+	}
+	rep := Execute(jobs, Options{Parallelism: 2, Context: ctx})
+	if ran.Load() != 0 {
+		t.Fatalf("%d jobs ran under a cancelled context", ran.Load())
+	}
+	if len(rep.Failures) != 3 {
+		t.Fatalf("got %d failures, want 3", len(rep.Failures))
+	}
+	for i := range rep.Failures {
+		f := &rep.Failures[i]
+		if f.Phase != "skipped" || !f.Cancelled() {
+			t.Fatalf("failure %d: phase %q, err %v; want a skipped cancellation", i, f.Phase, f.Err)
+		}
+	}
+}
+
+// TestJobTimeoutNotCached: a job over its per-job timeout fails with a
+// cancellation AND leaves no cache entry behind, so a retry recomputes
+// instead of replaying the timeout.
+func TestJobTimeoutNotCached(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	cfg := tinyConfig(t)
+	rep := Execute([]Job{Sim(cfg, nil)}, Options{JobTimeout: time.Nanosecond})
+	if rep.OK() {
+		t.Fatal("a 1ns timeout must fail the job")
+	}
+	f := rep.Failures[0]
+	if f.Phase != "run" || !f.Cancelled() {
+		t.Fatalf("failure is not a run-phase cancellation: %+v", f)
+	}
+	if cs := Cache(); cs.Entries != 0 {
+		t.Fatalf("cancelled run left %d cache entries (would poison the retry)", cs.Entries)
+	}
+	var res *sim.Result
+	Execute([]Job{Sim(cfg, func(r *sim.Result) { res = r })}, Options{}).MustOK()
+	if res == nil {
+		t.Fatal("retry after timeout did not deliver")
+	}
+}
+
+// TestCheckpointKillAndResume is the resume contract end to end: a run that
+// completes one of two experiments before being cancelled (standing in for
+// a kill) journals the finished one; a fresh "process" (cache reset) with
+// the same journal reloads it, computes only the other, and produces a CSV
+// byte-identical to an uninterrupted run.
+func TestCheckpointKillAndResume(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	cfgA := tinyConfig(t)
+	cfgB := tinyConfig(t)
+	cfgB.Seed = 5
+
+	table := func() *stats.Table { return stats.NewTable("t", "workload", "policy", "cpa", "walk") }
+	build := func(tab *stats.Table) []Job {
+		mk := func(cfg sim.Config) Job {
+			return Sim(cfg, func(r *sim.Result) {
+				tab.AddRow(r.Workload, r.Policy, r.Perf.CyclesPerAccess, r.Perf.WalkCycleFraction)
+			})
+		}
+		return []Job{mk(cfgA), mk(cfgB)}
+	}
+
+	base := table()
+	Execute(build(base), Options{Parallelism: 1}).MustOK()
+
+	// The "killed" run: with one worker, job A completes and is journaled,
+	// the middle job cancels the batch, and B is skipped.
+	dir := t.TempDir()
+	ResetCache()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	killed := table()
+	jobs := build(killed)
+	jobs = []Job{jobs[0], Func(func() any { cancel(); return nil }, nil), jobs[1]}
+	rep := Execute(jobs, Options{Parallelism: 1, Context: ctx, Checkpoint: dir})
+	if rep.OK() {
+		t.Fatal("the killed run must report the unfinished job")
+	}
+
+	// The resumed run: fresh memo cache, same journal.
+	ResetCache()
+	resumedTab := table()
+	Execute(build(resumedTab), Options{Parallelism: 1, Checkpoint: dir}).MustOK()
+	cs := Cache()
+	if cs.Resumed != 1 || cs.Misses != 1 {
+		t.Fatalf("resume ran %d sims and reloaded %d, want 1 and 1", cs.Misses, cs.Resumed)
+	}
+	if resumedTab.CSV() != base.CSV() {
+		t.Fatalf("resumed CSV differs from uninterrupted run:\n--- base\n%s--- resumed\n%s", base.CSV(), resumedTab.CSV())
+	}
+}
+
+// TestCheckpointCorruptFileIgnored: a journal file torn by the crash being
+// recovered from must be recomputed, not half-loaded.
+func TestCheckpointCorruptFileIgnored(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	dir := t.TempDir()
+	cfg := tinyConfig(t)
+	Execute([]Job{Sim(cfg, nil)}, Options{Checkpoint: dir}).MustOK()
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("journal has %d files (err %v), want 1", len(ents), err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ents[0].Name()), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ResetCache()
+	Execute([]Job{Sim(cfg, nil)}, Options{Checkpoint: dir}).MustOK()
+	if cs := Cache(); cs.Resumed != 0 || cs.Misses != 1 {
+		t.Fatalf("corrupt journal file was resumed: %+v", cs)
+	}
 }
 
 // TestConfigFieldCountGuard pins sim.Config's field count. cacheKey must
@@ -170,7 +360,7 @@ func TestPanicSubmissionOrder(t *testing.T) {
 // sim.Config without extending keyOf (which would silently alias distinct
 // configs in the memo cache). Update keyOf, then this count.
 func TestConfigFieldCountGuard(t *testing.T) {
-	const knownFields = 15
+	const knownFields = 17
 	if n := reflect.TypeOf(sim.Config{}).NumField(); n != knownFields {
 		t.Fatalf("sim.Config has %d fields, cacheKey covers %d: extend runner.keyOf for the new field(s), then bump this constant", n, knownFields)
 	}

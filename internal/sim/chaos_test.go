@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/units"
+)
+
+// TestAuditEveryPureObserver: the periodic auditor must not change a single
+// measured number — it only reads the machine.
+func TestAuditEveryPureObserver(t *testing.T) {
+	cfg := testConfig("GUPS", PolicyTrident)
+	cfg.Accesses = 60_000
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.AuditEvery = 3
+	audited, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, audited) {
+		t.Fatalf("auditing changed the result:\n%+v\nvs\n%+v", plain, audited)
+	}
+}
+
+// TestChaosZeroRatesInert: a Chaos config with a seed but all rates zero
+// attaches nothing and draws nothing — the result is identical to an
+// unconfigured run.
+func TestChaosZeroRatesInert(t *testing.T) {
+	cfg := testConfig("GUPS", PolicyTrident)
+	cfg.Accesses = 60_000
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Chaos = chaos.Config{Seed: 99}
+	inert, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, inert) {
+		t.Fatal("zero-rate chaos config perturbed the run")
+	}
+	if inert.Chaos != nil {
+		t.Fatal("zero-rate chaos config attached an injector")
+	}
+}
+
+// TestChaosAuditCleanAcrossSeeds is the PR's core robustness claim: with
+// every injection kind firing, at several seeds, on fragmented memory, the
+// machine must stay audit-coherent at every injection-time audit (the
+// injector's OnInject hook runs the auditor inline, on the bounded
+// schedule), every phase boundary and every periodic check, and the run
+// must complete with the failures absorbed by the paper's fallback paths.
+func TestChaosAuditCleanAcrossSeeds(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 7} {
+		cfg := testConfig("GUPS", PolicyTrident)
+		cfg.Accesses = 60_000
+		cfg.Fragment = true
+		cfg.AuditEvery = 8
+		cfg.Chaos = chaos.Config{
+			Seed:             seed,
+			BuddyFailRate:    0.05,
+			ZeroPoolFailRate: 0.10,
+			CompactAbortRate: 0.20,
+			PromoteAbortRate: 0.20,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Chaos == nil || res.Chaos.Total() == 0 {
+			t.Fatalf("seed %d: no injections fired (stats %+v)", seed, res.Chaos)
+		}
+	}
+}
+
+// TestChaosBuddyFaultFallback forces every huge buddy allocation and every
+// zero-pool take to fail: each 1GB/2MB fault attempt must fall back per the
+// policy (Table 4's failure counters), leaving a pure-4KB machine that
+// still completes and audits clean.
+func TestChaosBuddyFaultFallback(t *testing.T) {
+	cfg := testConfig("GUPS", PolicyTrident)
+	cfg.Accesses = 60_000
+	cfg.Chaos = chaos.Config{Seed: 1, BuddyFailRate: 1, ZeroPoolFailRate: 1}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fault.Attempts1G == 0 || res.Fault.Failed1G != res.Fault.Attempts1G {
+		t.Fatalf("1GB fault attempts %d, failed %d: every attempt must fail and be counted",
+			res.Fault.Attempts1G, res.Fault.Failed1G)
+	}
+	if res.MappedFinal[units.Size1G] != 0 || res.MappedFinal[units.Size2M] != 0 {
+		t.Fatalf("huge mappings exist despite total allocation failure: %v", res.MappedFinal)
+	}
+	if res.MappedFinal[units.Size4K] == 0 {
+		t.Fatal("no 4KB fallback mappings")
+	}
+	if res.Chaos.Injected[chaos.KindBuddyFail] == 0 || res.Chaos.Injected[chaos.KindZeroPoolFail] == 0 {
+		t.Fatalf("expected both kinds injected: %+v", res.Chaos)
+	}
+}
+
+// TestChaosCompactionAborts: aborted compaction passes must leave the
+// machine coherent (injection-time audits) and the run complete, with the
+// already-copied bytes accounted.
+func TestChaosCompactionAborts(t *testing.T) {
+	cfg := testConfig("GUPS", PolicyTrident)
+	cfg.Accesses = 60_000
+	cfg.Fragment = true
+	cfg.AuditEvery = 8
+	cfg.Chaos = chaos.Config{Seed: 3, CompactAbortRate: 0.5}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chaos.Injected[chaos.KindCompactAbort] == 0 {
+		t.Fatalf("no compaction aborts fired: %+v", res.Chaos)
+	}
+}
+
+// TestChaosPromoteAborts: aborted promotions are charged to the daemon's
+// failure counters and never corrupt the machine.
+func TestChaosPromoteAborts(t *testing.T) {
+	cfg := testConfig("GUPS", PolicyTrident)
+	cfg.Accesses = 60_000
+	// Fragmented memory defeats the fault-time 1GB path, so the promotion
+	// daemon has real work to abort.
+	cfg.Fragment = true
+	cfg.AuditEvery = 8
+	cfg.Chaos = chaos.Config{Seed: 5, PromoteAbortRate: 0.5}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chaos.Injected[chaos.KindPromoteAbort] == 0 {
+		t.Fatalf("no promotion aborts fired: %+v", res.Chaos)
+	}
+	if res.Promote == nil || res.Promote.Failed1G+res.Promote.Failed2M == 0 {
+		t.Fatalf("aborts not charged to the daemon's failure counters: %+v", res.Promote)
+	}
+}
+
+// TestChaosVirtualizedAuditClean runs injection under nested translation:
+// the audit must hold for both guest and host kernels and the combined
+// (effective-size) TLB entries.
+func TestChaosVirtualizedAuditClean(t *testing.T) {
+	cfg := testConfig("GUPS", PolicyTrident)
+	cfg.Accesses = 40_000
+	cfg.Virtualized = true
+	cfg.HostPolicy = PolicyTrident
+	cfg.AuditEvery = 8
+	// An unfragmented virtualized run offers few injection points (guest
+	// memory maps huge at fault time), so the rates are high to make the
+	// draws count.
+	cfg.Chaos = chaos.Config{Seed: 2, BuddyFailRate: 0.5, PromoteAbortRate: 0.5}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chaos == nil || res.Chaos.Total() == 0 {
+		t.Fatalf("no injections fired: %+v", res.Chaos)
+	}
+}

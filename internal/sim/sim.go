@@ -7,8 +7,11 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/audit"
+	"repro/internal/chaos"
 	"repro/internal/compact"
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -139,6 +142,19 @@ type Config struct {
 	// divergence panics (see mmu.MMU.ShadowCheck). Measured results are
 	// unaffected; only tests should set it.
 	ShadowCheck bool
+
+	// Chaos configures deterministic fault injection (internal/chaos):
+	// seed-driven forced buddy-allocation failures, zero-pool exhaustion
+	// and compaction/promotion aborts. The zero value disables injection
+	// and leaves the run bit-identical to one without the field. Injected
+	// failures are followed by the whole-machine invariant auditor
+	// (internal/audit) on a bounded schedule (every one of the first 32,
+	// then the powers of two); an incoherent machine fails the run.
+	Chaos chaos.Config
+	// AuditEvery runs the invariant auditor every N access batches (one
+	// batch = 2000 sampled references) during measurement, plus once after
+	// population and once after the daemons. 0 disables periodic audits.
+	AuditEvery int
 }
 
 func (c *Config) setDefaults() {
@@ -195,6 +211,8 @@ type Result struct {
 	Normal1GCompact *compact.Stats
 	// VirtStats is hypervisor-side activity (virtualized runs only).
 	VirtStats *virt.Stats
+	// Chaos reports fault-injection activity (runs with Config.Chaos only).
+	Chaos *chaos.Stats
 
 	// BloatBytes is promotion-induced internal fragmentation (§7).
 	BloatBytes uint64
@@ -244,15 +262,33 @@ type runner struct {
 
 	rng *xrand.Rand
 	res *Result
+
+	// ctx is checked at access-batch granularity so cancellation lands
+	// within milliseconds of the deadline.
+	ctx context.Context
+	// inj is the live fault injector (nil unless cfg.Chaos is enabled).
+	inj *chaos.Injector
+	// auditErr holds the first audit failure observed by the
+	// after-injection hook; phase and batch boundaries surface it.
+	auditErr error
 }
 
 // Run executes one configuration and returns its measurements.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: the context is checked between
+// phases and at access-batch granularity inside the population, daemon and
+// measurement loops, so a cancelled or timed-out run returns promptly with
+// ctx.Err() wrapped in the error. A cancelled run's partial Result is never
+// returned.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	cfg.setDefaults()
 	if cfg.Workload == nil {
 		return nil, fmt.Errorf("sim: no workload")
 	}
-	r := &runner{cfg: cfg, rng: xrand.New(cfg.Seed ^ 0xdecade)}
+	r := &runner{cfg: cfg, ctx: ctx, rng: xrand.New(cfg.Seed ^ 0xdecade)}
 	r.res = &Result{Workload: cfg.Workload.Name, Policy: cfg.Policy.String()}
 	if cfg.Virtualized {
 		r.res.Policy = cfg.Policy.String() + "+" + cfg.HostPolicy.String()
@@ -267,18 +303,79 @@ func Run(cfg Config) (*Result, error) {
 	if err := r.populate(); err != nil {
 		return nil, err
 	}
+	if err := r.phaseAudit("population"); err != nil {
+		return nil, err
+	}
 	r.snapshotMapped(&r.res.MappedAfterFaults)
 	if cfg.KhugepagedBudgetFrac > 0 && !cfg.DisablePromotion {
-		r.measureEarly(cfg.Accesses / 3)
+		if err := r.measureEarly(cfg.Accesses / 3); err != nil {
+			return nil, err
+		}
 	}
 	if !cfg.DisablePromotion {
-		r.runDaemons()
+		if err := r.runDaemons(); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.phaseAudit("daemons"); err != nil {
+		return nil, err
 	}
 	r.snapshotMapped(&r.res.MappedFinal)
 	r.collectLayout()
-	r.measure()
+	if err := r.measure(); err != nil {
+		return nil, err
+	}
 	r.finish()
 	return r.res, nil
+}
+
+// ctxErr reports a pending cancellation, wrapped so callers can still match
+// context.Canceled / context.DeadlineExceeded with errors.Is.
+func (r *runner) ctxErr() error {
+	if r.ctx == nil {
+		return nil
+	}
+	if err := r.ctx.Err(); err != nil {
+		return fmt.Errorf("sim: run cancelled: %w", err)
+	}
+	return nil
+}
+
+// audit runs the whole-machine coherence check over every kernel this run
+// owns (guest and, when virtualized, host) plus the TLB view.
+func (r *runner) audit() error {
+	var views []audit.TLBView
+	if r.m != nil && r.task != nil {
+		v := audit.TLBView{H: r.m.TLB, Task: r.task}
+		if r.vm != nil {
+			v.HostPT = r.vm.HostPT()
+		}
+		views = append(views, v)
+	}
+	if err := audit.Check(audit.Machine{K: r.k, TLBs: views}); err != nil {
+		return err
+	}
+	if r.host != nil {
+		if err := audit.Check(audit.Machine{K: r.host}); err != nil {
+			return fmt.Errorf("host kernel: %w", err)
+		}
+	}
+	return nil
+}
+
+// phaseAudit surfaces any injection-time audit failure and, when auditing
+// is enabled, re-checks the machine at a phase boundary.
+func (r *runner) phaseAudit(phase string) error {
+	if r.auditErr != nil {
+		return r.auditErr
+	}
+	if r.cfg.AuditEvery <= 0 && r.inj == nil {
+		return nil
+	}
+	if err := r.audit(); err != nil {
+		return fmt.Errorf("sim: audit after %s: %w", phase, err)
+	}
+	return nil
 }
 
 // maxOrderFor returns the buddy flavour a policy needs.
@@ -350,7 +447,59 @@ func (r *runner) buildMachine() error {
 			r.m.FlushPage(va, size)
 		}
 	}
+	r.attachChaos()
 	return nil
+}
+
+// auditedInjections is how many initial injected failures each get an
+// immediate whole-machine audit. Beyond it, injection-time audits thin to
+// the powers of two (the full check walks every frame and page-table leaf,
+// so auditing all of a high-rate run's 10⁴–10⁵ injections would dominate
+// wall time); corruption introduced between audited injections is still
+// caught at the next audited one, the phase boundaries, or the periodic
+// AuditEvery checks.
+const auditedInjections = 32
+
+// attachChaos wires the fault injector's decision hooks into the measured
+// kernel's machinery. Hooks go only on the components built for this run;
+// with Chaos disabled nothing is attached and no randomness is drawn, so
+// behaviour is bit-identical to a run without the knob.
+func (r *runner) attachChaos() {
+	if !r.cfg.Chaos.Enabled() {
+		return
+	}
+	inj := chaos.New(r.cfg.Chaos)
+	inj.OnInject = func(kind chaos.Kind) {
+		if r.auditErr != nil {
+			return
+		}
+		// decide() increments the counters before the hook, so Total
+		// already includes this injection.
+		if n := inj.S.Total(); n > auditedInjections && n&(n-1) != 0 {
+			return
+		}
+		if err := r.audit(); err != nil {
+			r.auditErr = fmt.Errorf("sim: audit after injected %v: %w", kind, err)
+		}
+	}
+	r.inj = inj
+	r.k.Buddy.FailAlloc = inj.BuddyAllocFails
+	if r.zero != nil {
+		r.zero.FailTake = inj.ZeroPoolFails
+	}
+	if r.promoted != nil {
+		r.promoted.Abort = inj.PromoteAborts
+		r.promoted.Normal.Abort = inj.CompactAborts
+		if r.promoted.Smart != nil {
+			r.promoted.Smart.Abort = inj.CompactAborts
+		}
+		if r.promoted.Normal1G != nil {
+			r.promoted.Normal1G.Abort = inj.CompactAborts
+		}
+	}
+	if r.hawk != nil {
+		r.hawk.Normal.Abort = inj.CompactAborts
+	}
 }
 
 // guestMemBytes sizes the VM: footprint plus headroom, whole GBs.
@@ -425,7 +574,7 @@ func (r *runner) populate() error {
 
 // runDaemons executes the background machinery to quiescence (or until the
 // Figure-13 CPU budget is exhausted).
-func (r *runner) runDaemons() {
+func (r *runner) runDaemons() error {
 	totalBudget := 0.0
 	if r.cfg.KhugepagedBudgetFrac > 0 {
 		totalBudget = r.cfg.KhugepagedBudgetFrac * RefRuntimeNs
@@ -433,12 +582,17 @@ func (r *runner) runDaemons() {
 	const rounds = 12
 	var spent float64
 	for round := 0; round < rounds; round++ {
+		if err := r.ctxErr(); err != nil {
+			return err
+		}
 		if r.zero != nil {
 			r.zero.Refill(4)
 		}
 		// Give the access-bit samplers something to read.
 		if r.hawk != nil {
-			r.accessBatch(50_000)
+			if err := r.accessBatch(50_000); err != nil {
+				return err
+			}
 		}
 		budget := 0.0
 		if totalBudget > 0 {
@@ -451,7 +605,11 @@ func (r *runner) runDaemons() {
 		switch {
 		case r.promoted != nil:
 			before := r.promoted.S.Promoted
-			spent += r.promoted.ScanTask(r.task, budget)
+			ns, err := r.promoted.ScanTask(r.task, budget)
+			spent += ns
+			if err != nil {
+				return err
+			}
 			progressed = r.promoted.S.Promoted != before
 			if r.bridge != nil {
 				r.bridge.Flush()
@@ -459,10 +617,14 @@ func (r *runner) runDaemons() {
 			}
 		case r.hawk != nil:
 			before := r.hawk.S.Promoted2M
-			spent += r.hawk.ScanTask(r.task, budget)
+			ns, err := r.hawk.ScanTask(r.task, budget)
+			spent += ns
+			if err != nil {
+				return err
+			}
 			progressed = r.hawk.S.Promoted2M != before
 		default:
-			return // static policies have no daemons
+			return nil // static policies have no daemons
 		}
 		if totalBudget > 0 && spent >= totalBudget {
 			break
@@ -479,7 +641,11 @@ func (r *runner) runDaemons() {
 	// Trident_pv's bargain (§6).
 	if r.hostPromote != nil && r.vm != nil && r.vm.S.PagesExchanged > 0 {
 		for pass := 0; pass < 3; pass++ {
-			if r.hostPromote.ScanTask(r.vm.HostTask, 0) == 0 {
+			ns, err := r.hostPromote.ScanTask(r.vm.HostTask, 0)
+			if err != nil {
+				return err
+			}
+			if ns == 0 {
 				break
 			}
 		}
@@ -493,28 +659,39 @@ func (r *runner) runDaemons() {
 			r.bloat.RecoverBloat(low - free)
 		}
 	}
+	return nil
 }
 
 // measureEarly samples the pre-promotion translation behaviour and resets
 // the MMU statistics afterwards.
-func (r *runner) measureEarly(n int) {
+func (r *runner) measureEarly(n int) error {
 	r.m.ResetStats()
-	for i := 0; i < n; i++ {
-		va, write := r.inst.Next()
-		r.translateWithFaults(va, write)
+	if err := r.accessBatch(n); err != nil {
+		return err
 	}
 	t := r.m.Totals()
 	r.earlyTrans = &t
 	r.m.ResetStats()
+	return nil
 }
 
 // accessBatch drives n references through the MMU (setting PTE access bits)
-// without recording request latencies; faults are serviced silently.
-func (r *runner) accessBatch(n int) {
+// without recording request latencies; faults are serviced silently. The
+// context is checked every batchAccesses references.
+func (r *runner) accessBatch(n int) error {
 	for i := 0; i < n; i++ {
 		va, write := r.inst.Next()
 		r.translateWithFaults(va, write)
+		if (i+1)%batchAccesses == 0 {
+			if err := r.ctxErr(); err != nil {
+				return err
+			}
+			if r.auditErr != nil {
+				return r.auditErr
+			}
+		}
 	}
+	return nil
 }
 
 func (r *runner) translateWithFaults(va uint64, write bool) float64 {
@@ -554,13 +731,18 @@ func (r *runner) collectLayout() {
 	r.res.FMFI2M = r.k.Buddy.FMFI(units.Order2M)
 }
 
+// batchAccesses is the sim loop's batch granularity: cancellation is
+// checked, and throughput workloads' requests flushed, every this many
+// sampled references.
+const batchAccesses = 2000
+
 // measure runs the sampled reference stream and, for throughput workloads,
-// groups accesses into requests to produce a p99 latency.
-func (r *runner) measure() {
+// groups accesses into requests to produce a p99 latency. Cancellation and
+// (when enabled) the periodic invariant audit run at batch boundaries.
+func (r *runner) measure() error {
 	r.m.ResetStats()
 	wl := r.cfg.Workload
 
-	const reqAccesses = 2000
 	var reqHist stats.Histogram
 	var reqWalkBase perfmodel.TranslationStats
 	var reqStall float64
@@ -580,19 +762,34 @@ func (r *runner) measure() {
 		_ = i
 	}
 
+	batch := 0
 	for i := 0; i < r.cfg.Accesses; i++ {
 		va, write := r.inst.Next()
 		stall := r.translateWithFaults(va, write)
 		totalStall += stall
 		reqStall += stall
-		if wl.Throughput && (i+1)%reqAccesses == 0 {
-			// The store keeps inserting: allocation interleaves with serving.
-			if wl.RequestInsertBytes > 0 {
-				if ns, err := r.inst.Extend(r.policy, wl.RequestInsertBytes); err == nil {
-					reqStall += ns
+		if (i+1)%batchAccesses == 0 {
+			if wl.Throughput {
+				// The store keeps inserting: allocation interleaves with serving.
+				if wl.RequestInsertBytes > 0 {
+					if ns, err := r.inst.Extend(r.policy, wl.RequestInsertBytes); err == nil {
+						reqStall += ns
+					}
+				}
+				flushReq(i)
+			}
+			batch++
+			if err := r.ctxErr(); err != nil {
+				return err
+			}
+			if r.auditErr != nil {
+				return r.auditErr
+			}
+			if r.cfg.AuditEvery > 0 && batch%r.cfg.AuditEvery == 0 {
+				if err := r.audit(); err != nil {
+					return fmt.Errorf("sim: audit at access %d: %w", i+1, err)
 				}
 			}
-			flushReq(i)
 		}
 	}
 	r.res.Trans = r.m.Totals()
@@ -600,6 +797,7 @@ func (r *runner) measure() {
 	if wl.Throughput && reqHist.Count() > 0 {
 		r.res.TailP99Ns = reqHist.Percentile(99)
 	}
+	return nil
 }
 
 func (r *runner) finish() {
@@ -642,6 +840,10 @@ func (r *runner) finish() {
 	if r.vm != nil {
 		vs := r.vm.S
 		res.VirtStats = &vs
+	}
+	if r.inj != nil {
+		cs := r.inj.S
+		res.Chaos = &cs
 	}
 	// Compaction/promotion copying does not just consume CPU: it pollutes
 	// caches and contends for memory bandwidth with the application (§5.1.3

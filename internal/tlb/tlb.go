@@ -323,6 +323,36 @@ func (h *Hierarchy) Probe(va uint64) (Level, units.PageSize, bool) {
 	return HitL1, 0, false
 }
 
+// ForEachEntry visits every live translation in the hierarchy as the
+// (va, size) pair recovered from its size-salted tag. A page cached at both
+// levels is reported once per level; the shared 4KB/2MB L2 structure is
+// visited once. Return false to stop early. The invariant auditor uses this
+// to check that no TLB entry outlives its mapping.
+func (h *Hierarchy) ForEachEntry(fn func(va uint64, size units.PageSize) bool) {
+	visit := func(t *TLB) bool {
+		for _, line := range t.lines {
+			if line == invalidTag {
+				continue
+			}
+			size := units.PageSize(line>>60) - 1
+			va := (line & (1<<60 - 1)) << size.Shift()
+			if !fn(va, size) {
+				return false
+			}
+		}
+		return true
+	}
+	for s := units.PageSize(0); s < units.NumPageSizes; s++ {
+		if !visit(h.l1[s]) {
+			return
+		}
+	}
+	if !visit(h.l2[units.Size4K]) { // the shared 4KB/2MB structure
+		return
+	}
+	visit(h.l2[units.Size1G])
+}
+
 // InvalidatePage removes a single page's entries from all levels (one page
 // of a TLB shootdown).
 func (h *Hierarchy) InvalidatePage(va uint64, size units.PageSize) {

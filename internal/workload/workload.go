@@ -470,7 +470,9 @@ func (s *Spec) InstantiateObserved(k *kernel.Kernel, task *kernel.Task, policy f
 		victim := pieces[i]
 		pieces[i] = pieces[len(pieces)-1]
 		pieces = pieces[:len(pieces)-1]
-		k.UnmapRange(task, victim.va, victim.va+victim.size)
+		if err := k.UnmapRange(task, victim.va, victim.va+victim.size); err != nil {
+			return nil, fmt.Errorf("workload %s: churn unmap: %w", s.Name, err)
+		}
 		if err := task.AS.MUnmap(victim.va, victim.size); err != nil {
 			return nil, fmt.Errorf("workload %s: churn unmap: %w", s.Name, err)
 		}

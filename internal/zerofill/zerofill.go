@@ -25,6 +25,15 @@ type Daemon struct {
 	RegionsZeroed uint64
 	// Nanoseconds is modeled background CPU time spent zeroing.
 	Nanoseconds float64
+
+	// FailTake, if set, is consulted by TakeZeroed; returning true makes
+	// the pool report exhaustion even if zeroed regions exist, forcing the
+	// caller onto the synchronous-zeroing or smaller-page path. The chaos
+	// injector (internal/chaos) uses it; nil in ordinary runs.
+	FailTake func() bool
+	// PoolExhausted counts TakeZeroed calls that found (or were forced to
+	// report) no pre-zeroed region.
+	PoolExhausted uint64
 }
 
 // New creates a zero-fill daemon over k.
@@ -67,6 +76,10 @@ func (d *Daemon) ZeroedAvailable() int {
 // The second result is false if no zeroed region is available (the caller
 // then either zeroes synchronously or falls back to a smaller page).
 func (d *Daemon) TakeZeroed() (uint64, bool) {
+	if d.FailTake != nil && d.FailTake() {
+		d.PoolExhausted++
+		return 0, false
+	}
 	mem := d.K.Mem
 	for r := uint64(0); r < mem.NumRegions(); r++ {
 		st := mem.Region(r)
@@ -79,5 +92,6 @@ func (d *Daemon) TakeZeroed() (uint64, bool) {
 		}
 		return pfn, true
 	}
+	d.PoolExhausted++
 	return 0, false
 }
