@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench benchcheck chaos fuzz verify clean
+.PHONY: all build vet test race bench benchcheck chaos fuzz lint obs verify clean
 
 all: build
 
@@ -21,7 +21,7 @@ test:
 # plus the shadow-coherence tests, which hammer the TLB fast path's flush
 # discipline from parallel subtests.
 race:
-	$(GO) test -race ./internal/runner ./internal/stats
+	$(GO) test -race ./internal/runner ./internal/stats ./internal/obs
 	$(GO) test -race -run 'TestShadowCoherence' ./internal/sim
 
 bench:
@@ -32,7 +32,7 @@ bench:
 # from the simulation goroutines, so racing them is the whole point.
 chaos:
 	$(GO) test -race ./internal/chaos ./internal/audit
-	$(GO) test -race -run 'TestChaos|TestAuditEvery' ./internal/sim
+	$(GO) test -race -run 'TestChaos|TestAuditEvery|TestObs' ./internal/sim
 
 # Fuzz smoke: ten seconds of audit-checked random kernel-op sequences under
 # chaos-injected buddy failures. The seed corpus alone runs on plain
@@ -46,7 +46,27 @@ fuzz:
 benchcheck:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
 
-verify: build vet test race chaos fuzz benchcheck
+# Wall-clock lint: the simulated world (sim, kernel) and the tracer (obs)
+# must never read the wall clock — timestamps are simulated event time
+# (DESIGN.md §7). Wall-clock usage belongs in runner/cmd only.
+lint:
+	@if grep -rn --include='*.go' --exclude='*_test.go' \
+	    -e 'time\.Now' -e 'time\.Since' -e 'time\.Sleep' \
+	    internal/sim internal/kernel internal/obs; then \
+	  echo 'wall-clock lint: time.Now/Since/Sleep forbidden in internal/{sim,kernel,obs}' >&2; \
+	  exit 1; \
+	fi
+
+# Observability gate: trace a small experiment and validate the trace
+# (parse, monotonic timestamps, balanced spans) plus the time series.
+obs:
+	obsdir=$$(mktemp -d); \
+	trap 'rm -rf "$$obsdir"' EXIT; \
+	$(GO) run ./cmd/experiments -quick -only fig9 -trace -out "$$obsdir" >/dev/null && \
+	$(GO) run ./cmd/tracecheck "$$obsdir"/trace/figure9.json && \
+	test -s "$$obsdir"/trace/figure9-series.csv
+
+verify: build vet lint test race chaos fuzz benchcheck obs
 
 clean:
 	rm -rf report

@@ -2,16 +2,38 @@
 # Tier-1 verification (ROADMAP.md): build, vet, full tests, the race
 # detector on the concurrent packages, the shadow-coherence tests and the
 # chaos/audit robustness suites, a 10s fuzz smoke of the audit-checked
-# kernel-op fuzzer, and a one-iteration sweep of every benchmark (bench-rot
-# gate). Equivalent to `make verify`.
+# kernel-op fuzzer, a one-iteration sweep of every benchmark (bench-rot
+# gate), the wall-clock lint, and a traced experiment validated by
+# tracecheck (observability gate, DESIGN.md §7). Equivalent to
+# `make verify`.
 set -eux
 
 go build ./...
 go vet ./...
+
+# Wall-clock lint: the simulated world (sim, kernel) and the tracer (obs)
+# must never read the wall clock — timestamps are simulated event time
+# (DESIGN.md §7). Wall-clock usage belongs in runner/cmd only.
+if grep -rn --include='*.go' --exclude='*_test.go' \
+    -e 'time\.Now' -e 'time\.Since' -e 'time\.Sleep' \
+    internal/sim internal/kernel internal/obs; then
+  echo 'wall-clock lint: time.Now/Since/Sleep forbidden in internal/{sim,kernel,obs}' >&2
+  exit 1
+fi
+
 go test ./...
-go test -race ./internal/runner ./internal/stats
+go test -race ./internal/runner ./internal/stats ./internal/obs
 go test -race -run 'TestShadowCoherence' ./internal/sim
 go test -race ./internal/chaos ./internal/audit
-go test -race -run 'TestChaos|TestAuditEvery' ./internal/sim
+go test -race -run 'TestChaos|TestAuditEvery|TestObs' ./internal/sim
 go test -run '^$' -fuzz FuzzKernelOpsAudit -fuzztime 10s ./internal/kernel
 go test -run '^$' -bench=. -benchtime=1x ./...
+
+# Observability gate: a small traced experiment must produce a valid
+# Perfetto trace (parse, monotonic per-track timestamps, balanced spans)
+# and a non-empty per-batch time series.
+obsdir=$(mktemp -d)
+trap 'rm -rf "$obsdir"' EXIT
+go run ./cmd/experiments -quick -only fig9 -trace -out "$obsdir" >/dev/null
+go run ./cmd/tracecheck "$obsdir"/trace/figure9.json
+test -s "$obsdir"/trace/figure9-series.csv

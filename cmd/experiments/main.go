@@ -10,6 +10,8 @@
 //	experiments -timeout 2m      # bound each simulation job
 //	experiments -deadline 30m    # bound the whole run
 //	experiments -resume          # reuse <out>/checkpoint from a killed run
+//	experiments -trace           # Perfetto trace + time series per experiment
+//	experiments -http :8080      # live /metrics, /progress, /debug/pprof
 //
 // A failing experiment job (panic, error, timeout) does not abort the run:
 // the remaining jobs complete, the rows that depend on the failed job are
@@ -22,6 +24,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -30,6 +36,7 @@ import (
 	"time"
 
 	trident "repro"
+	"repro/internal/obs"
 	"repro/internal/runner"
 )
 
@@ -42,6 +49,12 @@ type perfRecord struct {
 	WallMillis float64 `json:"wall_ms"`
 	CacheHits  uint64  `json:"cache_hits"`
 	CacheMiss  uint64  `json:"cache_misses"`
+	// Resumed counts jobs reloaded from the checkpoint journal.
+	Resumed int `json:"checkpoint_resumed,omitempty"`
+	// PhaseWallMs breaks the executed jobs' wall time down by simulation
+	// phase (build/populate/measure-early/daemons/measure), summed across
+	// the experiment's jobs. Cache hits contribute nothing.
+	PhaseWallMs map[string]float64 `json:"phase_wall_ms,omitempty"`
 }
 
 // perfSummary is the whole run: per-experiment records plus totals.
@@ -91,7 +104,7 @@ func validKeys() string {
 
 func main() {
 	if err := run(); err != nil {
-		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		slog.Error("experiments failed", "err", err)
 		os.Exit(1)
 	}
 }
@@ -108,6 +121,10 @@ func run() error {
 		timeout    = flag.Duration("timeout", 0, "per-job time limit; a job over it is recorded as failed (0 = none)")
 		deadline   = flag.Duration("deadline", 0, "whole-run time limit; remaining jobs are skipped past it (0 = none)")
 		resume     = flag.Bool("resume", false, "reload results journaled under <out>/checkpoint by a previous run; without it the journal is cleared at startup")
+		trace      = flag.Bool("trace", false, "write a Perfetto trace (<out>/trace/<experiment>.json) and per-batch time series (<out>/trace/<experiment>-series.csv) per experiment; results are unchanged")
+		sampleEach = flag.Int("sample-every", 1, "with -trace: record one time-series sample every N measurement batches (0 disables the series)")
+		httpAddr   = flag.String("http", "", "serve /metrics (Prometheus), /progress (JSON) and /debug/pprof on this address while running (e.g. :8080)")
+		logJSON    = flag.Bool("logjson", false, "emit diagnostics as JSON (slog) instead of text; tables still print to stdout")
 	)
 	flag.Usage = func() {
 		o := flag.CommandLine.Output()
@@ -121,9 +138,21 @@ Examples:
   experiments -deadline 30m         stop the whole run after 30 minutes
   experiments -resume               after a crash or kill: reuse the <out>/checkpoint
                                     journal and recompute only unfinished experiments
+  experiments -trace -only fig9     write report/trace/figure9.json (open in
+                                    https://ui.perfetto.dev) and figure9-series.csv
+  experiments -http :8080           watch a long run live: curl /progress, /metrics
 `)
 	}
 	flag.Parse()
+
+	// Diagnostics go to stderr through slog; tables and CSVs are the real
+	// output and stay on stdout / in -out.
+	logOpts := &slog.HandlerOptions{Level: slog.LevelInfo}
+	if *logJSON {
+		slog.SetDefault(slog.New(slog.NewJSONHandler(os.Stderr, logOpts)))
+	} else {
+		slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, logOpts)))
+	}
 
 	// Seed 0 is reserved internally as "unset" and would be silently
 	// remapped to 1; reject it here so -seed 0 and -seed 1 can't be
@@ -182,6 +211,27 @@ Examples:
 	var fails runner.FailureLog
 	settings.Failures = &fails
 
+	if *trace {
+		traceDir := filepath.Join(*out, "trace")
+		sampleEvery := *sampleEach
+		settings.Obs = func(label string) *obs.Observer {
+			return obs.NewObserver(
+				filepath.Join(traceDir, label+".json"),
+				filepath.Join(traceDir, label+"-series.csv"),
+				sampleEvery, true)
+		}
+	}
+
+	if *httpAddr != "" {
+		ln, err := serveHTTP(*httpAddr)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		slog.Info("serving diagnostics", "addr", ln.Addr().String(),
+			"endpoints", "/metrics /progress /debug/pprof")
+	}
+
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -214,24 +264,28 @@ Examples:
 		if err := os.WriteFile(path, []byte(table.CSV()), 0o644); err != nil {
 			return fmt.Errorf("writing %s: %w", path, err)
 		}
-		fmt.Printf("-> %s (%s, cache %d hit / %d miss)\n\n",
-			path, elapsed, after.Hits-before.Hits, after.Misses-before.Misses)
-		records = append(records, perfRecord{
+		rec := perfRecord{
 			Key:        e.key,
 			Name:       e.name,
 			WallMillis: float64(elapsed) / float64(time.Millisecond),
 			CacheHits:  after.Hits - before.Hits,
 			CacheMiss:  after.Misses - before.Misses,
-		})
+		}
+		if p, ok := runner.ProgressFor(e.name); ok {
+			rec.Resumed = p.Resumed
+			if len(p.PhaseWallMs) > 0 {
+				rec.PhaseWallMs = p.PhaseWallMs
+			}
+		}
+		slog.Info("experiment done", "csv", path, "wall", elapsed.String(),
+			"cache_hits", rec.CacheHits, "cache_misses", rec.CacheMiss)
+		records = append(records, rec)
 	}
 	cs := runner.Cache()
 	totalElapsed := time.Since(totalStart).Round(time.Millisecond)
-	fmt.Printf("ran %d experiment(s) in %s with %d worker(s): %d unique simulation(s), %d cache hit(s)",
-		len(records), totalElapsed, workers, cs.Misses, cs.Hits)
-	if cs.Resumed > 0 {
-		fmt.Printf(", %d resumed from checkpoint", cs.Resumed)
-	}
-	fmt.Println()
+	slog.Info("run complete", "experiments", len(records), "wall", totalElapsed.String(),
+		"workers", workers, "unique_simulations", cs.Misses, "cache_hits", cs.Hits,
+		"checkpoint_resumed", cs.Resumed)
 
 	summary := perfSummary{
 		Workers:      workers,
@@ -264,11 +318,86 @@ Examples:
 	}
 
 	if fl := fails.All(); len(fl) > 0 {
-		fmt.Fprintf(os.Stderr, "experiments: %d job(s) did not complete; their rows are missing from the CSVs:\n", len(fl))
 		for i := range fl {
-			fmt.Fprintf(os.Stderr, "  skipped: %s\n", fl[i].Reason())
+			slog.Error("job did not complete; its rows are missing from the CSVs", "job", fl[i].Reason())
 		}
 		return fmt.Errorf("%d job(s) failed (re-run with -resume to retry only the unfinished work)", len(fl))
 	}
 	return nil
+}
+
+// serveHTTP starts the diagnostics server: the obs metrics registry on
+// /metrics, live experiment progress as JSON on /progress, and the standard
+// pprof handlers under /debug/pprof. It binds synchronously (so a bad
+// address fails the run immediately) and serves until the listener closes.
+func serveHTTP(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("-http %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", newMetrics())
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(runner.Progress())
+	})
+	mux.HandleFunc("/debug/pprof/", netpprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+	go func() {
+		if err := http.Serve(ln, mux); err != nil && !strings.Contains(err.Error(), "use of closed network connection") {
+			slog.Error("diagnostics server stopped", "err", err)
+		}
+	}()
+	return ln, nil
+}
+
+// newMetrics builds the Prometheus registry over the runner's live state.
+// Everything is a scrape-time GaugeFunc, so the registry itself holds no
+// state and never touches the simulation hot path.
+func newMetrics() *obs.Registry {
+	reg := obs.NewRegistry()
+	reg.GaugeFunc("trident_cache_hits_total", "simulations served from the memo cache", func() float64 {
+		return float64(runner.Cache().Hits)
+	})
+	reg.GaugeFunc("trident_cache_misses_total", "unique simulations executed", func() float64 {
+		return float64(runner.Cache().Misses)
+	})
+	reg.GaugeFunc("trident_checkpoint_resumed_total", "simulations reloaded from the checkpoint journal", func() float64 {
+		return float64(runner.Cache().Resumed)
+	})
+	reg.GaugeFunc("trident_cache_entries", "live memo-cache entries", func() float64 {
+		return float64(runner.Cache().Entries)
+	})
+	sumProgress := func(f func(runner.ExperimentProgress) int) func() float64 {
+		return func() float64 {
+			n := 0
+			for _, p := range runner.Progress() {
+				n += f(p)
+			}
+			return float64(n)
+		}
+	}
+	reg.GaugeFunc("trident_jobs_queued", "jobs submitted across all experiments",
+		sumProgress(func(p runner.ExperimentProgress) int { return p.Jobs }))
+	reg.GaugeFunc("trident_jobs_running", "jobs currently executing",
+		sumProgress(func(p runner.ExperimentProgress) int { return p.Running }))
+	reg.GaugeFunc("trident_jobs_done", "jobs completed successfully",
+		sumProgress(func(p runner.ExperimentProgress) int { return p.Done }))
+	reg.GaugeFunc("trident_jobs_failed", "jobs failed, skipped or panicked",
+		sumProgress(func(p runner.ExperimentProgress) int { return p.Failed }))
+	quantile := func(p float64) func() float64 {
+		return func() float64 {
+			_, vs := runner.JobWallQuantiles([]float64{p})
+			return vs[0]
+		}
+	}
+	reg.GaugeFunc("trident_job_wall_ms_p50", "median job wall time (ms)", quantile(50))
+	reg.GaugeFunc("trident_job_wall_ms_p95", "95th-percentile job wall time (ms)", quantile(95))
+	reg.GaugeFunc("trident_job_wall_ms_p99", "99th-percentile job wall time (ms)", quantile(99))
+	return reg
 }

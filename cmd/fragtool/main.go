@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"repro/internal/fragment"
@@ -32,7 +33,7 @@ func main() {
 		FreeBytes:      uint64(*freeGB * float64(units.Page1G)),
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "fragtool: %v\n", err)
+		slog.Error("fragmenting failed", "cmd", "fragtool", "err", err)
 		os.Exit(1)
 	}
 

@@ -13,10 +13,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
 	trident "repro"
+	"repro/internal/obs"
 	"repro/internal/units"
 )
 
@@ -45,6 +47,9 @@ func main() {
 		seed         = flag.Uint64("seed", 1, "random seed")
 		budget       = flag.Float64("khugepaged-budget", 0, "cap daemon CPU at this vCPU fraction (0 = unlimited)")
 		list         = flag.Bool("list", false, "list workloads and exit")
+		tracePath    = flag.String("trace", "", "write a Perfetto trace-event JSON of the run to this file")
+		seriesPath   = flag.String("series", "", "write the per-batch time-series CSV of the run to this file")
+		sampleEach   = flag.Int("sample-every", 1, "with -trace/-series: sample every N measurement batches")
 	)
 	flag.Parse()
 
@@ -92,11 +97,30 @@ func main() {
 		fatalf("-pv requires -virt")
 	}
 
+	var ob *obs.Observer
+	if *tracePath != "" || *seriesPath != "" {
+		ob = obs.NewObserver(*tracePath, *seriesPath, *sampleEach, true)
+		cfg.Obs = ob.NewRun(w.Name + "/" + strings.ToLower(*policyName))
+	}
+
 	res, err := trident.Run(cfg)
 	if err != nil {
 		fatalf("run failed: %v", err)
 	}
 	printResult(res)
+
+	if ob != nil {
+		ob.Flush(cfg.Obs)
+		if err := ob.Close(); err != nil {
+			fatalf("writing trace: %v", err)
+		}
+		if *tracePath != "" {
+			fmt.Printf("\ntrace: %s (open in https://ui.perfetto.dev)\n", *tracePath)
+		}
+		if *seriesPath != "" {
+			fmt.Printf("series: %s\n", *seriesPath)
+		}
+	}
 }
 
 func printResult(r *trident.Result) {
@@ -149,6 +173,6 @@ func printResult(r *trident.Result) {
 }
 
 func fatalf(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "tridentsim: "+format+"\n", args...)
+	slog.Error(fmt.Sprintf(format, args...), "cmd", "tridentsim")
 	os.Exit(1)
 }

@@ -61,6 +61,10 @@ type Normal struct {
 	// the next attempt resumes normally). The chaos injector uses it to
 	// model contention cutting a compaction run short.
 	Abort func() bool
+	// OnAttempt, if set, observes each Compact call: the bytes it copied
+	// and whether a target-order chunk was available afterwards. The
+	// observability layer uses it; nil in ordinary runs.
+	OnAttempt func(copiedBytes uint64, ok bool)
 }
 
 // DefaultMaxAttemptBytes bounds one sequential-compaction attempt: enough
@@ -76,6 +80,15 @@ func NewNormal(k *kernel.Kernel) *Normal {
 // Compact tries to create one free chunk of targetOrder (units.Order2M or
 // units.Order1G), returning whether such a chunk is available afterwards.
 func (c *Normal) Compact(targetOrder int) bool {
+	before := c.BytesCopied
+	ok := c.compact(targetOrder)
+	if c.OnAttempt != nil {
+		c.OnAttempt(c.BytesCopied-before, ok)
+	}
+	return ok
+}
+
+func (c *Normal) compact(targetOrder int) bool {
 	c.Attempts++
 	if c.K.Buddy.FreeBytesAtOrder(targetOrder) > 0 {
 		c.Successes++
@@ -237,6 +250,10 @@ type Smart struct {
 	// matching the unmovable-page-appeared-mid-run failure mode). The
 	// chaos injector uses it.
 	Abort func() bool
+	// OnAttempt, if set, observes each Compact call: the bytes it copied
+	// and whether a 1GB chunk was available afterwards. The observability
+	// layer uses it; nil in ordinary runs.
+	OnAttempt func(copiedBytes uint64, ok bool)
 }
 
 // NewSmart creates a smart compactor over k.
@@ -247,6 +264,15 @@ func NewSmart(k *kernel.Kernel) *Smart { return &Smart{K: k} }
 // the most free frames and no unmovable contents, and packs its pages into
 // the fullest other regions.
 func (c *Smart) Compact() bool {
+	before := c.BytesCopied
+	ok := c.compact()
+	if c.OnAttempt != nil {
+		c.OnAttempt(c.BytesCopied-before, ok)
+	}
+	return ok
+}
+
+func (c *Smart) compact() bool {
 	c.Attempts++
 	if c.K.Buddy.FreeBytesAtOrder(units.Order1G) > 0 {
 		c.Successes++

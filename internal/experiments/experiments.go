@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -56,6 +57,13 @@ type Settings struct {
 	// failure panics (the pre-Report fail-fast behavior benchmarks and
 	// tests rely on).
 	Failures *runner.FailureLog
+
+	// Obs, when non-nil, is called once per experiment label to build the
+	// observer that collects that experiment's trace and time series
+	// (cmd/experiments wires its -trace flag here). It may return nil to
+	// leave a given experiment unobserved. Observation never alters
+	// results: the report CSVs are byte-identical with or without it.
+	Obs func(label string) *obs.Observer
 }
 
 // fill resolves defaults from the sim package's canonical constants, so the
@@ -128,13 +136,25 @@ func (s Settings) config(w *workload.Spec, p sim.PolicyKind) sim.Config {
 // profiles of a full run can be sliced per figure (and, via the per-job
 // workload/policy label the runner adds, per grid cell).
 func (s Settings) run(label string, jobs []runner.Job) {
+	var ob *obs.Observer
+	if s.Obs != nil {
+		ob = s.Obs(label)
+	}
 	rep := runner.Execute(jobs, runner.Options{
 		Parallelism: s.Parallelism,
 		Label:       label,
 		Context:     s.Ctx,
 		JobTimeout:  s.Timeout,
 		Checkpoint:  s.Checkpoint,
+		Obs:         ob,
 	})
+	if err := ob.Close(); err != nil {
+		// Losing a trace must not discard the experiment's rows: record it
+		// like a failed job and let the driver finish its table.
+		rep.Failures = append(rep.Failures, runner.Failure{
+			Experiment: label, Name: "trace", Phase: "obs", Err: err,
+		})
+	}
 	if s.Failures != nil {
 		s.Failures.Add(rep)
 		return

@@ -67,6 +67,34 @@ type Stats struct {
 	TotalLatencyNs float64
 }
 
+// Traced wraps p so that every successfully served fault — population
+// faults included — is reported to hook before the result is returned.
+// The observability layer (internal/obs via internal/sim) uses it to emit
+// per-fault trace events without the policies knowing about tracing.
+// A nil hook returns p unchanged.
+func Traced(p Policy, hook func(Result)) Policy {
+	if hook == nil {
+		return p
+	}
+	return &traced{p: p, hook: hook}
+}
+
+type traced struct {
+	p    Policy
+	hook func(Result)
+}
+
+func (t *traced) Name() string       { return t.p.Name() }
+func (t *traced) FaultStats() *Stats { return t.p.FaultStats() }
+
+func (t *traced) Handle(task *kernel.Task, va uint64) (Result, error) {
+	r, err := t.p.Handle(task, va)
+	if err == nil {
+		t.hook(r)
+	}
+	return r, err
+}
+
 // Policy is a page-fault handler.
 type Policy interface {
 	// Name identifies the policy in reports.

@@ -49,6 +49,21 @@ type Kernel struct {
 	// KernelAllocated tracks frames held by unmovable kernel allocations,
 	// keyed by head PFN → order (for validation on free).
 	kernelAllocs map[uint64]int
+
+	// Ops counts completed page-table operations since boot. The counters
+	// are deterministic functions of the op stream (never of wall time),
+	// cheap enough to keep always-on; the observability layer samples them
+	// as per-batch deltas.
+	Ops OpStats
+}
+
+// OpStats counts the kernel's primitive page-table operations.
+type OpStats struct {
+	Maps      uint64 // mappings established (fault, promotion, zero-pool)
+	Unmaps    uint64 // mappings removed (free or keep-frames)
+	Moves     uint64 // compaction page moves
+	Exchanges uint64 // Trident_pv frame exchanges
+	Demotes   uint64 // huge-page demotions
 }
 
 // New boots a kernel over memBytes of physical memory. maxOrder selects the
@@ -115,6 +130,7 @@ func (k *Kernel) mapOwned(t *Task, va, pfn uint64, size units.PageSize) error {
 		return err
 	}
 	k.Mem.SetOwner(pfn, phys.Owner{Space: t.AS.ID, VA: va, Size: size})
+	k.Ops.Maps++
 	return nil
 }
 
@@ -128,6 +144,7 @@ func (k *Kernel) UnmapFree(t *Task, va uint64, size units.PageSize) error {
 	k.Mem.ClearOwner(pfn)
 	k.Buddy.Free(pfn, size.Order())
 	k.shootdown(t, va, size)
+	k.Ops.Unmaps++
 	return nil
 }
 
@@ -141,6 +158,7 @@ func (k *Kernel) UnmapKeep(t *Task, va uint64, size units.PageSize) (uint64, err
 	}
 	k.Mem.ClearOwner(pfn)
 	k.shootdown(t, va, size)
+	k.Ops.Unmaps++
 	return pfn, nil
 }
 
@@ -159,6 +177,7 @@ func (k *Kernel) MovePage(t *Task, va uint64, size units.PageSize, newPFN uint64
 	k.Mem.SetOwner(newPFN, phys.Owner{Space: t.AS.ID, VA: va, Size: size})
 	k.Buddy.Free(m.PFN, size.Order())
 	k.shootdown(t, va, size)
+	k.Ops.Moves++
 	return nil
 }
 
@@ -188,6 +207,7 @@ func (k *Kernel) ExchangeFrames(t1 *Task, va1 uint64, t2 *Task, va2 uint64, size
 	k.Mem.SetOwner(m1.PFN, phys.Owner{Space: t2.AS.ID, VA: va2, Size: size})
 	k.shootdown(t1, va1, size)
 	k.shootdown(t2, va2, size)
+	k.Ops.Exchanges++
 	return nil
 }
 
@@ -251,6 +271,7 @@ func (k *Kernel) DemotePage(t *Task, va uint64) error {
 		})
 	}
 	k.shootdown(t, va, m.Size)
+	k.Ops.Demotes++
 	return nil
 }
 

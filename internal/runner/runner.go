@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tlb"
 	"repro/internal/workload"
@@ -103,6 +104,17 @@ type Options struct {
 	// The directory must be cleared when the simulator changes; the
 	// journal records results, not the code that produced them.
 	Checkpoint string
+
+	// Obs, when non-nil, attaches a per-run observability recorder
+	// (internal/obs) to every simulator job and registers completed runs
+	// with the observer in submission order, so the rendered trace and
+	// time-series files are deterministic for any worker count. Tracing
+	// composes with the memo cache by observing only actual executions:
+	// a job served from the cache (or resumed from a checkpoint journal)
+	// produced no events, so it contributes nothing to the trace. The
+	// observer is excluded from the memo-cache key — tracing never
+	// changes what a run computes.
+	Obs *obs.Observer
 }
 
 // Failure describes one job that did not deliver: its sim ended in an error,
@@ -206,11 +218,9 @@ func Execute(jobs []Job, opts Options) *Report {
 		workers = len(jobs)
 	}
 
-	outs := make([]any, len(jobs))
-	errs := make([]error, len(jobs))
-	panics := make([]any, len(jobs))
-	stacks := make([]string, len(jobs))
-	skipped := make([]bool, len(jobs))
+	tr := beginBatch(opts.Label, len(jobs))
+	batchStart := time.Now()
+	results := make([]jobResult, len(jobs))
 
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -223,19 +233,26 @@ func Execute(jobs []Job, opts Options) *Report {
 				if i >= len(jobs) {
 					return
 				}
+				r := &results[i]
 				if err := ctx.Err(); err != nil {
-					skipped[i] = true
-					errs[i] = fmt.Errorf("runner: batch cancelled before job started: %w", err)
+					r.skipped = true
+					r.err = fmt.Errorf("runner: batch cancelled before job started: %w", err)
+					tr.jobSkipped()
 					continue
 				}
 				jctx, cancel := ctx, context.CancelFunc(func() {})
 				if opts.JobTimeout > 0 {
 					jctx, cancel = context.WithTimeout(ctx, opts.JobTimeout)
 				}
+				tr.jobStarted()
+				start := time.Now()
 				pprof.Do(context.Background(), jobLabels(&jobs[i], opts.Label), func(context.Context) {
-					runJob(jctx, &jobs[i], &outs[i], &errs[i], &panics[i], &stacks[i], opts.NoCache, ckpt)
+					runJob(jctx, &jobs[i], r, opts, ckpt)
 				})
 				cancel()
+				r.wallMs = float64(time.Since(start).Nanoseconds()) / 1e6
+				recordJobWall(r.wallMs)
+				tr.jobFinished(r)
 			}
 		}()
 	}
@@ -243,21 +260,47 @@ func Execute(jobs []Job, opts Options) *Report {
 
 	for i := range jobs {
 		j := &jobs[i]
+		r := &results[i]
 		switch {
-		case panics[i] != nil:
+		case r.panicked != nil:
 			rep.fail(Failure{Index: i, Experiment: opts.Label, Name: jobName(j),
-				Phase: "run", Panic: panics[i], Stack: stacks[i], Cfg: j.Cfg})
-		case skipped[i]:
+				Phase: "run", Panic: r.panicked, Stack: r.stack, Cfg: j.Cfg})
+		case r.skipped:
 			rep.fail(Failure{Index: i, Experiment: opts.Label, Name: jobName(j),
-				Phase: "skipped", Err: errs[i], Cfg: j.Cfg})
-		case errs[i] != nil:
+				Phase: "skipped", Err: r.err, Cfg: j.Cfg})
+		case r.err != nil:
 			rep.fail(Failure{Index: i, Experiment: opts.Label, Name: jobName(j),
-				Phase: "run", Err: errs[i], Cfg: j.Cfg})
+				Phase: "run", Err: r.err, Cfg: j.Cfg})
 		default:
-			deliver(j, i, outs[i], opts.Label, rep)
+			before := len(rep.Failures)
+			deliver(j, i, r.out, opts.Label, rep)
+			if len(rep.Failures) > before {
+				tr.deliverFailed()
+			}
+			// Flushing here — on the submitting goroutine, in submission
+			// order — is what makes trace output deterministic under any
+			// worker count. Empty recorders (cache hits, disabled obs)
+			// are skipped by Flush itself.
+			opts.Obs.Flush(r.obs)
 		}
 	}
+	tr.endBatch(time.Since(batchStart))
 	return rep
+}
+
+// jobResult is everything one worker records about one job; the delivery
+// loop reads it single-threaded after wg.Wait.
+type jobResult struct {
+	out       any
+	err       error
+	panicked  any
+	stack     string
+	skipped   bool
+	cached    bool // served from the in-process memo cache
+	resumed   bool // reloaded from the checkpoint journal
+	obs       *obs.Run
+	phaseWall map[string]float64 // wall ms per sim phase (executed jobs only)
+	wallMs    float64
 }
 
 func (r *Report) fail(f Failure) { r.Failures = append(r.Failures, f) }
@@ -312,26 +355,55 @@ func jobLabels(j *Job, label string) pprof.LabelSet {
 	return pprof.Labels(kv...)
 }
 
-func runJob(ctx context.Context, j *Job, out *any, err *error, panicked *any, stack *string, noCache bool, ckpt *checkpoint) {
+func runJob(ctx context.Context, j *Job, r *jobResult, opts Options, ckpt *checkpoint) {
 	defer func() {
 		if p := recover(); p != nil {
-			*panicked = p
-			*stack = string(debug.Stack())
+			r.panicked = p
+			r.stack = string(debug.Stack())
 		}
 	}()
 	if j.Run != nil {
-		*out = j.Run()
+		r.out = j.Run()
 		return
 	}
-	res, e := cachedRun(ctx, j.Cfg, noCache, ckpt)
-	*out, *err = res, e
+	// Every simulator job gets a recorder: with Options.Obs it carries the
+	// observer's tracing/sampling configuration; without, a bare recorder
+	// that only forwards phase transitions. Either way OnPhase stamps
+	// wall-clock phase durations — the wall clock lives here, on the
+	// runner's side of the obs fence, never inside the simulation.
+	cfg := j.Cfg
+	orun := opts.Obs.NewRun(jobName(j))
+	if orun == nil {
+		orun = &obs.Run{Name: jobName(j)}
+	}
+	r.phaseWall = map[string]float64{}
+	starts := map[string]time.Time{}
+	orun.OnPhase = func(phase string, begin bool) {
+		if begin {
+			starts[phase] = time.Now()
+			return
+		}
+		if t0, ok := starts[phase]; ok {
+			r.phaseWall[phase] += float64(time.Since(t0).Nanoseconds()) / 1e6
+		}
+	}
+	cfg.Obs = orun
+	res, src, e := cachedRun(ctx, cfg, opts.NoCache, ckpt)
+	r.cached = src == srcHit
+	r.resumed = src == srcResumed
+	r.obs = orun
+	r.out, r.err = res, e
 }
 
 // cacheKey is the canonical, comparable fingerprint of a normalized
 // sim.Config. The Workload spec and TLB geometry are embedded by value, so
 // distinct pointers to equal specs (workload.All allocates fresh specs per
 // call) still hit. A reflection guard in runner_test.go pins sim.Config's
-// field count: adding a Config field without extending this key fails tests.
+// field count: adding a Config field without extending this key (or
+// documenting its exclusion in the guard) fails tests. Config.Obs is the
+// one deliberate exclusion — a recorder only observes a run, so two
+// configs differing only in Obs compute the same Result and must share a
+// cache slot.
 // Every field is plain value data (no pointers), so fmt's %#v rendering of a
 // key is stable across processes — the checkpoint journal hashes it to name
 // files.
@@ -378,6 +450,16 @@ func keyOf(cfg sim.Config) cacheKey {
 	}
 }
 
+// runSource says how cachedRun satisfied a call: by executing the
+// simulation, by serving a memoized result, or by reloading a checkpoint.
+type runSource int
+
+const (
+	srcExecuted runSource = iota
+	srcHit
+	srcResumed
+)
+
 // entry is one single-flight cache slot: the first arrival computes under
 // once; latecomers block on once.Do and read the stored outcome.
 type entry struct {
@@ -385,6 +467,7 @@ type entry struct {
 	res      *sim.Result
 	err      error
 	panicked any
+	fromCkpt bool
 }
 
 var (
@@ -398,9 +481,10 @@ var (
 // cachedRun executes cfg through the memo cache. Results are shared across
 // callers and must be treated as immutable (sim.Result is plain measured
 // data; drivers only read it).
-func cachedRun(ctx context.Context, cfg sim.Config, noCache bool, ckpt *checkpoint) (*sim.Result, error) {
+func cachedRun(ctx context.Context, cfg sim.Config, noCache bool, ckpt *checkpoint) (*sim.Result, runSource, error) {
 	if noCache || cfg.Workload == nil {
-		return sim.RunContext(ctx, cfg)
+		res, err := sim.RunContext(ctx, cfg)
+		return res, srcExecuted, err
 	}
 	key := keyOf(cfg)
 	cacheMu.Lock()
@@ -423,6 +507,7 @@ func cachedRun(ctx context.Context, cfg sim.Config, noCache bool, ckpt *checkpoi
 			if res, ok := ckpt.load(key); ok {
 				resumed.Add(1)
 				e.res = res
+				e.fromCkpt = true
 				return
 			}
 		}
@@ -432,8 +517,13 @@ func cachedRun(ctx context.Context, cfg sim.Config, noCache bool, ckpt *checkpoi
 			e.err = ckpt.save(key, e.res)
 		}
 	})
-	if !first {
+	src := srcExecuted
+	switch {
+	case !first:
+		src = srcHit
 		hits.Add(1)
+	case e.fromCkpt:
+		src = srcResumed
 	}
 	if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
 		// A cancelled run is an absence of a result, not a result: drop the
@@ -449,7 +539,7 @@ func cachedRun(ctx context.Context, cfg sim.Config, noCache bool, ckpt *checkpoi
 	if e.panicked != nil {
 		panic(e.panicked)
 	}
-	return e.res, e.err
+	return e.res, src, e.err
 }
 
 // CacheStats reports the memo cache's cumulative activity. Misses count

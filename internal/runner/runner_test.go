@@ -356,16 +356,24 @@ func TestCheckpointCorruptFileIgnored(t *testing.T) {
 }
 
 // TestConfigFieldCountGuard pins sim.Config's field count. cacheKey must
-// fingerprint every field of sim.Config; if this fails, a field was added to
-// sim.Config without extending keyOf (which would silently alias distinct
-// configs in the memo cache). Update keyOf, then this count.
+// fingerprint every result-affecting field of sim.Config; if this fails, a
+// field was added to sim.Config without extending keyOf (which would
+// silently alias distinct configs in the memo cache). Update keyOf, then
+// this count. Config.Obs is the one deliberate exclusion: a recorder only
+// observes a run (sim never branches on it), so configs differing only in
+// Obs must share a cache slot — hence Config carries exactly one more
+// field than cacheKey.
 func TestConfigFieldCountGuard(t *testing.T) {
-	const knownFields = 17
-	if n := reflect.TypeOf(sim.Config{}).NumField(); n != knownFields {
-		t.Fatalf("sim.Config has %d fields, cacheKey covers %d: extend runner.keyOf for the new field(s), then bump this constant", n, knownFields)
+	const keyFields = 17
+	const excludedFields = 1 // Config.Obs — observability, not identity
+	if n := reflect.TypeOf(sim.Config{}).NumField(); n != keyFields+excludedFields {
+		t.Fatalf("sim.Config has %d fields, cacheKey covers %d (+%d excluded): extend runner.keyOf for the new field(s) or document the exclusion, then bump these constants", n, keyFields, excludedFields)
 	}
-	if n := reflect.TypeOf(cacheKey{}).NumField(); n != knownFields {
-		t.Fatalf("cacheKey has %d fields, want %d (one per sim.Config field)", n, knownFields)
+	if n := reflect.TypeOf(cacheKey{}).NumField(); n != keyFields {
+		t.Fatalf("cacheKey has %d fields, want %d", n, keyFields)
+	}
+	if _, ok := reflect.TypeOf(sim.Config{}).FieldByName("Obs"); !ok {
+		t.Fatal("sim.Config.Obs is gone: update the excluded-field accounting above")
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"repro/internal/hawkeye"
 	"repro/internal/kernel"
 	"repro/internal/mmu"
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/promote"
 	"repro/internal/stats"
@@ -155,6 +156,16 @@ type Config struct {
 	// batch = 2000 sampled references) during measurement, plus once after
 	// population and once after the daemons. 0 disables periodic audits.
 	AuditEvery int
+
+	// Obs attaches a per-run observability recorder (internal/obs): phase
+	// spans, trace events and per-batch time-series samples, all stamped
+	// with simulated event time. nil disables observability completely —
+	// hot paths pay one nil check per 2000-access batch, nothing is
+	// allocated, and the run's Result and report output are byte-identical
+	// to a run without the field. The recorder only observes; it never
+	// influences execution, which is why it is deliberately excluded from
+	// the runner package's memo-cache key.
+	Obs *obs.Run
 }
 
 func (c *Config) setDefaults() {
@@ -271,6 +282,14 @@ type runner struct {
 	// auditErr holds the first audit failure observed by the
 	// after-injection hook; phase and batch boundaries surface it.
 	auditErr error
+
+	// obsPhase names the phase currently executing, tagging time-series
+	// samples; obsBase holds the cumulative counters behind the previous
+	// sample so each row reports per-window deltas; stallNs mirrors the
+	// measurement loop's accumulated fault stall for the sampler.
+	obsPhase string
+	obsBase  obsBase
+	stallNs  float64
 }
 
 // Run executes one configuration and returns its measurements.
@@ -297,10 +316,10 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 
-	if err := r.buildMachine(); err != nil {
+	if err := r.phase("build", r.buildMachine); err != nil {
 		return nil, err
 	}
-	if err := r.populate(); err != nil {
+	if err := r.phase("populate", r.populate); err != nil {
 		return nil, err
 	}
 	if err := r.phaseAudit("population"); err != nil {
@@ -308,12 +327,14 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	r.snapshotMapped(&r.res.MappedAfterFaults)
 	if cfg.KhugepagedBudgetFrac > 0 && !cfg.DisablePromotion {
-		if err := r.measureEarly(cfg.Accesses / 3); err != nil {
+		if err := r.phase("measure-early", func() error {
+			return r.measureEarly(cfg.Accesses / 3)
+		}); err != nil {
 			return nil, err
 		}
 	}
 	if !cfg.DisablePromotion {
-		if err := r.runDaemons(); err != nil {
+		if err := r.phase("daemons", r.runDaemons); err != nil {
 			return nil, err
 		}
 	}
@@ -322,11 +343,28 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	r.snapshotMapped(&r.res.MappedFinal)
 	r.collectLayout()
-	if err := r.measure(); err != nil {
+	if err := r.phase("measure", r.measure); err != nil {
 		return nil, err
 	}
 	r.finish()
 	return r.res, nil
+}
+
+// phase brackets fn between balanced begin/end marks on the run's recorder
+// (balanced even when fn fails), tags samples taken inside fn with the
+// phase name, and closes with a phase-boundary sample so phases without
+// access batches (Trident's daemon rounds, say) still land rows in the
+// time series. With a nil recorder this is a plain call to fn.
+func (r *runner) phase(name string, fn func() error) error {
+	o := r.cfg.Obs
+	r.obsPhase = name
+	o.Phase(name, true)
+	err := fn()
+	if err == nil && o.Active() && o.SampleEvery > 0 {
+		r.obsSample()
+	}
+	o.Phase(name, false)
+	return err
 }
 
 // ctxErr reports a pending cancellation, wrapped so callers can still match
@@ -448,7 +486,66 @@ func (r *runner) buildMachine() error {
 		}
 	}
 	r.attachChaos()
+	r.attachObs()
 	return nil
+}
+
+// attachObs wires trace-event emission into the run's hook points: the
+// fault policy is wrapped (population faults included), promotions,
+// compaction attempts, zero-fill refills and chaos injections chain onto
+// their existing hooks. With event tracing off nothing is attached, so
+// ordinary runs execute exactly the code they always did.
+func (r *runner) attachObs() {
+	o := r.cfg.Obs
+	if !o.EventsOn() {
+		return
+	}
+	r.policy = fault.Traced(r.policy, func(res fault.Result) {
+		o.Advance(1)
+		o.Emit(obs.EvFault, res.Size.String(), res.Size, res.Size.Bytes(), res.LatencyNs, true)
+	})
+	if r.promoted != nil {
+		prev := r.promoted.OnPromote
+		r.promoted.OnPromote = func(t *kernel.Task, va uint64, size units.PageSize, populated uint64) {
+			if prev != nil {
+				prev(t, va, size, populated)
+			}
+			o.Emit(obs.EvPromote, size.String(), size, populated, 0, true)
+		}
+		hookCompact(o, "compact-normal", r.promoted.Normal)
+		hookCompact(o, "compact-normal-1g", r.promoted.Normal1G)
+		if r.promoted.Smart != nil {
+			r.promoted.Smart.OnAttempt = func(copied uint64, ok bool) {
+				o.Emit(obs.EvCompact, "compact-smart", 0, copied, 0, ok)
+			}
+		}
+	}
+	if r.hawk != nil {
+		hookCompact(o, "compact-normal", r.hawk.Normal)
+	}
+	if r.zero != nil {
+		r.zero.OnRefill = func(zeroed int) {
+			o.Emit(obs.EvZeroRefill, "zero-refill", 0, uint64(zeroed)*units.Page1G, 0, true)
+		}
+	}
+	if r.inj != nil {
+		prev := r.inj.OnInject
+		r.inj.OnInject = func(kind chaos.Kind) {
+			o.Emit(obs.EvChaos, kind.String(), 0, 0, 0, false)
+			if prev != nil {
+				prev(kind)
+			}
+		}
+	}
+}
+
+func hookCompact(o *obs.Run, name string, c *compact.Normal) {
+	if c == nil {
+		return
+	}
+	c.OnAttempt = func(copied uint64, ok bool) {
+		o.Emit(obs.EvCompact, name, 0, copied, 0, ok)
+	}
 }
 
 // auditedInjections is how many initial injected failures each get an
@@ -563,6 +660,76 @@ func (r *runner) buildPolicy(k *kernel.Kernel, kind PolicyKind, measured bool) (
 	return nil, fmt.Errorf("sim: unknown policy %v", kind)
 }
 
+// obsBase holds the cumulative counters behind the previous time-series
+// sample so each Sample reports per-window deltas.
+type obsBase struct {
+	acc     [units.NumPageSizes]uint64
+	l2      uint64
+	walks   uint64
+	walkMem uint64
+	faults  [units.NumPageSizes]uint64
+	stall   float64
+	ops     kernel.OpStats
+}
+
+// obsResetTrans re-bases the sampler's translation deltas. It must follow
+// every mmu.ResetStats call (measureEarly, measure), otherwise the next
+// sample's deltas would underflow against the zeroed counters.
+func (r *runner) obsResetTrans() {
+	r.obsBase.acc = [units.NumPageSizes]uint64{}
+	r.obsBase.l2, r.obsBase.walks, r.obsBase.walkMem = 0, 0, 0
+}
+
+// obsSample appends one time-series row: translation and fault deltas
+// since the previous sample plus point-in-time memory-layout gauges. It
+// reads counters the simulation maintains anyway; nothing here mutates
+// simulation state.
+func (r *runner) obsSample() {
+	var s obs.Sample
+	s.Phase = r.obsPhase
+	var accTot uint64
+	for sz := units.PageSize(0); sz < units.NumPageSizes; sz++ {
+		a := r.m.BySize[sz].Accesses
+		s.Accesses[sz] = a - r.obsBase.acc[sz]
+		accTot += s.Accesses[sz]
+		r.obsBase.acc[sz] = a
+	}
+	tot := r.m.Totals()
+	s.L2Hits = tot.L2Hits - r.obsBase.l2
+	s.Walks = tot.Walks - r.obsBase.walks
+	s.WalkMem = tot.WalkMemAccesses - r.obsBase.walkMem
+	r.obsBase.l2, r.obsBase.walks, r.obsBase.walkMem = tot.L2Hits, tot.Walks, tot.WalkMemAccesses
+	if accTot > 0 {
+		s.L1HitRate = float64(accTot-s.L2Hits-s.Walks) / float64(accTot)
+		s.WalkCycles = (float64(s.WalkMem)*perfmodel.WalkAccessCycles +
+			float64(s.L2Hits)*perfmodel.L2TLBHitCycles) / float64(accTot)
+	}
+	s.StallNs = r.stallNs - r.obsBase.stall
+	r.obsBase.stall = r.stallNs
+	fs := r.policy.FaultStats()
+	for sz := units.PageSize(0); sz < units.NumPageSizes; sz++ {
+		s.Faults[sz] = fs.Faults[sz] - r.obsBase.faults[sz]
+		r.obsBase.faults[sz] = fs.Faults[sz]
+	}
+	for sz := units.PageSize(0); sz < units.NumPageSizes; sz++ {
+		s.Mapped[sz] = r.task.AS.PT.MappedBytes(sz)
+	}
+	s.FreeFrames = r.k.Mem.FreeFrames()
+	for ord := 0; ord <= r.k.Buddy.MaxOrder() && ord < len(s.FreeOrders); ord++ {
+		s.FreeOrders[ord] = r.k.Buddy.FreeChunks(ord)
+	}
+	s.FMFI2M = r.k.Buddy.FMFI(units.Order2M)
+	if r.zero != nil {
+		s.ZeroPool = r.zero.ZeroedAvailable()
+	}
+	ops := r.k.Ops
+	s.KernelMaps = ops.Maps - r.obsBase.ops.Maps
+	s.KernelUnmaps = ops.Unmaps - r.obsBase.ops.Unmaps
+	s.KernelMoves = ops.Moves - r.obsBase.ops.Moves
+	r.obsBase.ops = ops
+	r.cfg.Obs.AddSample(s)
+}
+
 func (r *runner) populate() error {
 	inst, err := r.cfg.Workload.Instantiate(r.k, r.task, r.policy, r.cfg.Seed+4, r.cfg.Scale)
 	if err != nil {
@@ -585,6 +752,9 @@ func (r *runner) runDaemons() error {
 		if err := r.ctxErr(); err != nil {
 			return err
 		}
+		// One tick per daemon round spreads promotion/compaction events
+		// over simulated time even when the round drives no accesses.
+		r.cfg.Obs.Advance(1)
 		if r.zero != nil {
 			r.zero.Refill(4)
 		}
@@ -666,12 +836,14 @@ func (r *runner) runDaemons() error {
 // the MMU statistics afterwards.
 func (r *runner) measureEarly(n int) error {
 	r.m.ResetStats()
+	r.obsResetTrans()
 	if err := r.accessBatch(n); err != nil {
 		return err
 	}
 	t := r.m.Totals()
 	r.earlyTrans = &t
 	r.m.ResetStats()
+	r.obsResetTrans()
 	return nil
 }
 
@@ -683,6 +855,9 @@ func (r *runner) accessBatch(n int) error {
 		va, write := r.inst.Next()
 		r.translateWithFaults(va, write)
 		if (i+1)%batchAccesses == 0 {
+			if r.cfg.Obs.BatchDone(batchAccesses) {
+				r.obsSample()
+			}
 			if err := r.ctxErr(); err != nil {
 				return err
 			}
@@ -741,6 +916,7 @@ const batchAccesses = 2000
 // (when enabled) the periodic invariant audit run at batch boundaries.
 func (r *runner) measure() error {
 	r.m.ResetStats()
+	r.obsResetTrans()
 	wl := r.cfg.Workload
 
 	var reqHist stats.Histogram
@@ -779,6 +955,10 @@ func (r *runner) measure() error {
 				flushReq(i)
 			}
 			batch++
+			r.stallNs = totalStall
+			if r.cfg.Obs.BatchDone(batchAccesses) {
+				r.obsSample()
+			}
 			if err := r.ctxErr(); err != nil {
 				return err
 			}

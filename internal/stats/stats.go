@@ -97,6 +97,21 @@ func (h *Histogram) Percentile(p float64) float64 {
 	return h.samples[lo]*(1-frac) + h.samples[hi]*frac
 }
 
+// Quantiles returns the percentile for each p in ps (0 <= p <= 100) in
+// one pass: the sample slice is sorted at most once regardless of how
+// many quantiles are requested. An empty histogram yields all zeros,
+// matching Percentile's empty-histogram guard.
+func (h *Histogram) Quantiles(ps []float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(h.samples) == 0 {
+		return out
+	}
+	for i, p := range ps {
+		out[i] = h.Percentile(p)
+	}
+	return out
+}
+
 // Reset discards all samples.
 func (h *Histogram) Reset() {
 	h.samples = h.samples[:0]

@@ -178,3 +178,47 @@ func TestFloatFormatting(t *testing.T) {
 		t.Errorf("float32 = %q", tbl.Cell(2, 0))
 	}
 }
+
+func TestHistogramEmptyGuards(t *testing.T) {
+	var h Histogram
+	// NaN would poison every downstream CSV cell; the empty-histogram
+	// contract is "0, not NaN" across all accessors.
+	for name, got := range map[string]float64{
+		"Mean":       h.Mean(),
+		"Max":        h.Max(),
+		"Percentile": h.Percentile(99),
+	} {
+		if got != 0 {
+			t.Errorf("empty %s = %v, want 0", name, got)
+		}
+	}
+	qs := h.Quantiles([]float64{0, 50, 100})
+	for i, v := range qs {
+		if v != 0 {
+			t.Errorf("empty Quantiles[%d] = %v, want 0", i, v)
+		}
+	}
+	if len(qs) != 3 {
+		t.Errorf("Quantiles length = %d, want 3", len(qs))
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Record(float64(i))
+	}
+	ps := []float64{0, 25, 50, 75, 100}
+	got := h.Quantiles(ps)
+	for i, p := range ps {
+		if want := h.Percentile(p); got[i] != want {
+			t.Errorf("Quantiles[%v] = %v, want Percentile %v", p, got[i], want)
+		}
+	}
+	if got[0] != 1 || got[4] != 100 {
+		t.Errorf("extremes = %v, %v; want 1, 100", got[0], got[4])
+	}
+	if len(h.Quantiles(nil)) != 0 {
+		t.Error("Quantiles(nil) should be empty")
+	}
+}

@@ -34,6 +34,11 @@ type Daemon struct {
 	// PoolExhausted counts TakeZeroed calls that found (or were forced to
 	// report) no pre-zeroed region.
 	PoolExhausted uint64
+
+	// OnRefill, if set, observes each Refill wakeup that zeroed at least
+	// one region. The observability layer uses it to emit trace events;
+	// nil in ordinary runs.
+	OnRefill func(zeroed int)
 }
 
 // New creates a zero-fill daemon over k.
@@ -55,6 +60,9 @@ func (d *Daemon) Refill(max int) int {
 			d.Nanoseconds += perfmodel.ZeroNs(units.Page1G)
 			zeroed++
 		}
+	}
+	if zeroed > 0 && d.OnRefill != nil {
+		d.OnRefill(zeroed)
 	}
 	return zeroed
 }
