@@ -46,14 +46,17 @@ fuzz:
 benchcheck:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
 
-# Wall-clock lint: the simulated world (sim, kernel) and the tracer (obs)
-# must never read the wall clock — timestamps are simulated event time
-# (DESIGN.md §7). Wall-clock usage belongs in runner/cmd only.
+# Determinism & layering lint (tridentlint, DESIGN.md §8): type-resolved
+# wall-clock ban in the simulated world, math/rand confined to
+# internal/xrand, no order-sensitive emission from map iteration, the
+# declared import DAG, and sim.Config/memo-key coverage. The second half
+# is the negative gate: the seeded-violation fixture must still make the
+# linter exit 1, so the checks themselves cannot silently rot.
 lint:
-	@if grep -rn --include='*.go' --exclude='*_test.go' \
-	    -e 'time\.Now' -e 'time\.Since' -e 'time\.Sleep' \
-	    internal/sim internal/kernel internal/obs; then \
-	  echo 'wall-clock lint: time.Now/Since/Sleep forbidden in internal/{sim,kernel,obs}' >&2; \
+	$(GO) run ./cmd/tridentlint ./...
+	@rc=0; $(GO) run ./cmd/tridentlint internal/lint/testdata/bad >/dev/null || rc=$$?; \
+	if [ "$$rc" -ne 1 ]; then \
+	  echo "tridentlint negative gate: exit $$rc on seeded violations, want 1" >&2; \
 	  exit 1; \
 	fi
 

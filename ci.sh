@@ -3,23 +3,27 @@
 # detector on the concurrent packages, the shadow-coherence tests and the
 # chaos/audit robustness suites, a 10s fuzz smoke of the audit-checked
 # kernel-op fuzzer, a one-iteration sweep of every benchmark (bench-rot
-# gate), the wall-clock lint, and a traced experiment validated by
-# tracecheck (observability gate, DESIGN.md §7). Equivalent to
-# `make verify`.
+# gate), the tridentlint determinism & layering suite (self-clean gate plus
+# a negative gate on seeded violations, DESIGN.md §8), and a traced
+# experiment validated by tracecheck (observability gate, DESIGN.md §7).
+# Equivalent to `make verify`.
 set -eux
 
 go build ./...
 go vet ./...
 
-# Wall-clock lint: the simulated world (sim, kernel) and the tracer (obs)
-# must never read the wall clock — timestamps are simulated event time
-# (DESIGN.md §7). Wall-clock usage belongs in runner/cmd only.
-if grep -rn --include='*.go' --exclude='*_test.go' \
-    -e 'time\.Now' -e 'time\.Since' -e 'time\.Sleep' \
-    internal/sim internal/kernel internal/obs; then
-  echo 'wall-clock lint: time.Now/Since/Sleep forbidden in internal/{sim,kernel,obs}' >&2
-  exit 1
-fi
+# Determinism & layering lint (tridentlint, DESIGN.md §8): type-resolved
+# wall-clock ban in the simulated world, math/rand confined to
+# internal/xrand, no order-sensitive emission from map iteration, the
+# declared import DAG, and sim.Config/memo-key coverage. Self-clean gate:
+go run ./cmd/tridentlint ./...
+
+# Negative gate: the linter must still fire on the seeded-violation
+# fixture module, exiting 1 (findings) — not 0 (rotted checks) and not 2
+# (driver broke). Keeps the linter itself from silently rotting.
+lintrc=0
+go run ./cmd/tridentlint internal/lint/testdata/bad >/dev/null || lintrc=$?
+test "$lintrc" -eq 1
 
 go test ./...
 go test -race ./internal/runner ./internal/stats ./internal/obs

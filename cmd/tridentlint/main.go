@@ -1,0 +1,140 @@
+// Command tridentlint runs the repo's determinism & layering static
+// analysis suite (internal/lint, DESIGN.md §8) over one or more modules.
+//
+// Usage:
+//
+//	tridentlint [-json] [-checks wallclock,maporder,...] [-list] [pattern ...]
+//
+// Each pattern names a directory (a trailing "/..." is accepted and
+// ignored — the whole enclosing module is always analyzed, found by
+// walking up to the nearest go.mod). With no patterns, the module
+// containing the current directory is analyzed. `tridentlint ./...` is the
+// CI self-clean gate; `tridentlint internal/lint/testdata/bad` is the CI
+// negative gate — that directory carries its own go.mod, so the seeded
+// violations load as an independent module.
+//
+// Exit status: 0 clean, 1 findings reported, 2 load/type-check failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of file:line text")
+	checksFlag := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := flag.Bool("list", false, "list registered checks and exit")
+	flag.Parse()
+
+	checks := lint.Checks()
+	if *list {
+		for _, c := range checks {
+			fmt.Printf("%-12s %s\n", c.Name, c.Doc)
+		}
+		return
+	}
+	if *checksFlag != "" {
+		checks = selectChecks(checks, *checksFlag)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+	roots, err := moduleRoots(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tridentlint:", err)
+		os.Exit(2)
+	}
+
+	var findings []lint.Finding
+	for _, root := range roots {
+		m, err := lint.Load(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tridentlint:", err)
+			os.Exit(2)
+		}
+		findings = append(findings, lint.Run(m, checks)...)
+	}
+
+	if *jsonOut {
+		if err := lint.FindingsJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "tridentlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+func selectChecks(all []lint.Check, names string) []lint.Check {
+	byName := map[string]lint.Check{}
+	for _, c := range all {
+		byName[c.Name] = c
+	}
+	var out []lint.Check
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		c, ok := byName[n]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tridentlint: unknown check %q (see -list)\n", n)
+			os.Exit(2)
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// moduleRoots resolves patterns to their deduplicated enclosing module
+// roots, preserving first-appearance order.
+func moduleRoots(patterns []string) ([]string, error) {
+	var roots []string
+	seen := map[string]bool{}
+	for _, pat := range patterns {
+		dir := strings.TrimSuffix(pat, "...")
+		dir = strings.TrimSuffix(dir, "/")
+		if dir == "" {
+			dir = "."
+		}
+		root, err := findModuleRoot(dir)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[root] {
+			seen[root] = true
+			roots = append(roots, root)
+		}
+	}
+	return roots, nil
+}
+
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found for %s", dir)
+		}
+		d = parent
+	}
+}

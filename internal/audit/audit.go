@@ -27,7 +27,6 @@ package audit
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"repro/internal/kernel"
@@ -122,12 +121,10 @@ func Check(m Machine) error {
 	return r.err()
 }
 
-// sortedTasks returns the kernel's tasks in address-space-ID order so that
-// violation reports are deterministic.
+// sortedTasks returns the kernel's tasks for deterministic violation
+// reports. kernel.Tasks now guarantees address-space-ID order itself.
 func sortedTasks(k *kernel.Kernel) []*kernel.Task {
-	tasks := k.Tasks()
-	sort.Slice(tasks, func(i, j int) bool { return tasks[i].AS.ID < tasks[j].AS.ID })
-	return tasks
+	return k.Tasks()
 }
 
 // checkLeaves verifies check 1: page-table leaves against phys allocation

@@ -13,6 +13,7 @@ package kernel
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/buddy"
 	"repro/internal/pagetable"
@@ -93,12 +94,15 @@ func (k *Kernel) TaskByID(id uint32) (*Task, bool) {
 	return t, ok
 }
 
-// Tasks returns all live tasks (order unspecified).
+// Tasks returns all live tasks in address-space-ID (creation) order, so
+// that anything iterating tasks — the invariant auditor's violation
+// reports in particular — is deterministic.
 func (k *Kernel) Tasks() []*Task {
 	out := make([]*Task, 0, len(k.tasks))
 	for _, t := range k.tasks {
 		out = append(out, t)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AS.ID < out[j].AS.ID })
 	return out
 }
 

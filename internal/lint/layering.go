@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"strings"
+)
+
+// LayerRule declares one edge class forbidden by the import DAG. From and
+// Deny entries are module-relative directories; a trailing "/..." matches
+// the directory and everything beneath it, and the special pattern "..."
+// matches every module-internal package.
+type LayerRule struct {
+	From []string
+	Deny []string
+	Why  string
+}
+
+// layerRules is the declared import DAG (DESIGN.md §8). The architecture,
+// bottom to top:
+//
+//	units, stats, xrand                      (leaves: no internal imports)
+//	phys … tlb … kernel … sim                (the simulated machine)
+//	obs                                      (passive observer: leaves only)
+//	runner                                   (experiment engine)
+//	experiments, repro (root), cmd/*         (drivers)
+//
+// A new package slots in by adding it to simulatedPackages (wallclock.go)
+// or to a rule here.
+var layerRules = []LayerRule{
+	{
+		From: simulatedPackages,
+		Deny: []string{"internal/runner", "internal/experiments", "cmd/..."},
+		Why:  "the simulated world sits below the experiment engine; a Result must be a pure function of sim.Config",
+	},
+	{
+		From: []string{"internal/obs"},
+		Deny: []string{"internal/sim", "internal/kernel", "internal/mmu", "internal/fault", "internal/workload"},
+		Why:  "obs is a passive observer fed through hooks; reaching back into the machine would let tracing influence execution",
+	},
+	{
+		From: []string{"internal/runner"},
+		Deny: []string{"internal/experiments", "cmd/..."},
+		Why:  "the runner executes jobs for the experiment drivers, never the reverse",
+	},
+	{
+		From: []string{"internal/units", "internal/stats", "internal/xrand"},
+		Deny: []string{"..."},
+		Why:  "leaf package: must not import anything module-internal",
+	},
+}
+
+// matchLayer reports whether rel matches a rule pattern.
+func matchLayer(pattern, rel string) bool {
+	if pattern == "..." {
+		return true
+	}
+	if base, ok := strings.CutSuffix(pattern, "/..."); ok {
+		return rel == base || strings.HasPrefix(rel, base+"/")
+	}
+	return rel == pattern
+}
+
+// checkLayering enforces layerRules over the non-test import graph.
+// Test files are exempt: integration tests legitimately reach across
+// layers (sim's determinism tests drive the runner, for instance).
+func checkLayering(m *Module) []Finding {
+	var out []Finding
+	for _, pkg := range m.Packages {
+		for _, rule := range layerRules {
+			applies := false
+			for _, from := range rule.From {
+				if matchLayer(from, pkg.Rel) {
+					applies = true
+					break
+				}
+			}
+			if !applies {
+				continue
+			}
+			for _, f := range pkg.Files {
+				for _, imp := range f.Imports {
+					rel, ok := m.relOf(strings.Trim(imp.Path.Value, `"`))
+					if !ok {
+						continue
+					}
+					for _, deny := range rule.Deny {
+						if matchLayer(deny, rel) {
+							out = append(out, m.finding(imp.Pos(), "layering",
+								"%s must not import %s: %s", pkg.Rel, rel, rule.Why))
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}

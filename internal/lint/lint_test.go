@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func load(t *testing.T, dir string) *Module {
+	t.Helper()
+	m, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", dir, err)
+	}
+	return m
+}
+
+// want is one expected golden finding, matched by check, file suffix and a
+// message fragment.
+type want struct {
+	check, file, frag string
+}
+
+// TestBadFixtureFindings pins the seeded-violation module: every check
+// must fire on its violation, the malformed suppression must be reported,
+// and nothing else may appear.
+func TestBadFixtureFindings(t *testing.T) {
+	m := load(t, filepath.Join("testdata", "bad"))
+	got := Run(m, Checks())
+	wants := []want{
+		{"randomness", "internal/kernel/kernel.go", "import of math/rand outside internal/xrand"},
+		{"ignore", "internal/kernel/kernel.go", "malformed //lint:ignore"},
+		{"wallclock", "internal/kernel/kernel.go", "time.Sleep in simulated-world package internal/kernel"},
+		{"layering", "internal/obs/obs.go", "internal/obs must not import internal/sim"},
+		{"memokey", "internal/runner/runner.go", `MemoKeyExclusions entry "Obs" matches no exported sim.Config field`},
+		{"layering", "internal/sim/sim.go", "internal/sim must not import internal/runner"},
+		{"memokey", "internal/sim/sim.go", "sim.Config.Extra is neither fingerprinted"},
+		{"wallclock", "internal/sim/sim.go", "time.Now in simulated-world package internal/sim"},
+		{"maporder", "internal/sim/sim.go", "fmt.Println inside range over map"},
+	}
+	if len(got) != len(wants) {
+		t.Errorf("got %d findings, want %d:", len(got), len(wants))
+		for _, f := range got {
+			t.Logf("  %s", f)
+		}
+	}
+	for _, w := range wants {
+		found := false
+		for _, f := range got {
+			if f.Check == w.check &&
+				strings.HasSuffix(filepath.ToSlash(f.File), w.file) &&
+				strings.Contains(f.Message, w.frag) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing finding: [%s] %s ~ %q", w.check, w.file, w.frag)
+		}
+	}
+	for _, f := range got {
+		if f.Line <= 0 || f.Col <= 0 {
+			t.Errorf("finding without position: %+v", f)
+		}
+	}
+}
+
+// TestGoodFixtureClean pins the clean module: sorted emission, duration
+// constants, xrand's math/rand import, a lockstep memo key and a reasoned
+// suppression must all pass without a sound.
+func TestGoodFixtureClean(t *testing.T) {
+	m := load(t, filepath.Join("testdata", "good"))
+	if got := Run(m, Checks()); len(got) != 0 {
+		for _, f := range got {
+			t.Errorf("unexpected finding on clean fixture: %s", f)
+		}
+	}
+}
+
+// TestIgnoreSuppressesOnlyWithReason proves the suppression actually
+// swallowed a live finding in the good fixture (rather than the check not
+// firing at all): running the wallclock check raw sees the violation, Run
+// with directives does not. The bad fixture's reasonless directive is the
+// negative half, pinned in TestBadFixtureFindings.
+func TestIgnoreSuppressesOnlyWithReason(t *testing.T) {
+	m := load(t, filepath.Join("testdata", "good"))
+	raw := checkWallclock(m)
+	if len(raw) != 1 || !strings.Contains(raw[0].Message, "time.Now") {
+		t.Fatalf("raw wallclock check on good fixture = %v, want exactly the suppressed time.Now", raw)
+	}
+	if got := Run(m, Checks()); len(got) != 0 {
+		t.Errorf("reasoned //lint:ignore did not suppress: %v", got)
+	}
+}
+
+// TestJSONRoundTrip pins the -json schema: encode → decode must be
+// lossless, and an empty finding set must encode as [] (not null).
+func TestJSONRoundTrip(t *testing.T) {
+	m := load(t, filepath.Join("testdata", "bad"))
+	fs := Run(m, Checks())
+	var buf bytes.Buffer
+	if err := FindingsJSON(&buf, fs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeFindings(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("decoding own output: %v", err)
+	}
+	if !reflect.DeepEqual(fs, back) {
+		t.Errorf("round trip lost data:\n in: %+v\nout: %+v", fs, back)
+	}
+
+	buf.Reset()
+	if err := FindingsJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s := strings.TrimSpace(buf.String()); s != "[]" {
+		t.Errorf("empty findings encode as %q, want []", s)
+	}
+}
+
+// TestSelfClean is the in-test twin of the CI self-gate: the repo's own
+// module must lint clean. If this fails, run `go run ./cmd/tridentlint
+// ./...` for the findings and fix (or suppress with a reason) each one.
+func TestSelfClean(t *testing.T) {
+	m := load(t, filepath.Join("..", ".."))
+	if m.Path != "repro" {
+		t.Fatalf("loaded module %q, want repro", m.Path)
+	}
+	if got := Run(m, Checks()); len(got) != 0 {
+		for _, f := range got {
+			t.Errorf("repo is not lint-clean: %s", f)
+		}
+	}
+}
+
+// TestCheckRegistry pins the five contract checks by name so a dropped
+// registration cannot go unnoticed.
+func TestCheckRegistry(t *testing.T) {
+	want := []string{"wallclock", "randomness", "maporder", "layering", "memokey"}
+	var got []string
+	for _, c := range Checks() {
+		got = append(got, c.Name)
+		if c.Doc == "" || c.Run == nil {
+			t.Errorf("check %s missing doc or run func", c.Name)
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("registry = %v, want %v", got, want)
+	}
+}

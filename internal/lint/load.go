@@ -1,0 +1,292 @@
+// Package lint is tridentlint's analysis engine: a dependency-free static
+// analysis driver for the determinism and layering contracts the Trident
+// reproduction depends on (DESIGN.md §8). It is built entirely on the
+// standard library's go/parser, go/ast and go/types — the module has zero
+// external dependencies and the linter must not be the thing that breaks
+// that.
+//
+// The driver loads every package of a module (the directory tree rooted at
+// a go.mod), type-checks it, and hands the result to a registry of checks.
+// Each check reports Findings; `//lint:ignore <check> <reason>` comments
+// suppress individual findings, but only when a non-empty reason is given.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the loaded module.
+type Package struct {
+	// Rel is the module-relative directory ("" for the module root
+	// package, "internal/sim", "cmd/tridentlint", ...). All check tables
+	// are keyed on Rel so the same rules apply to the real module and to
+	// the fixture modules under testdata/.
+	Rel string
+	// Dir is the absolute directory.
+	Dir string
+	// ImportPath is the full import path (module path + "/" + Rel).
+	ImportPath string
+	// Files are the non-test source files, fully type-checked.
+	Files []*ast.File
+	// FileNames[i] is the absolute path of Files[i].
+	FileNames []string
+	// TestFiles are the *_test.go files. They are parsed (so import-level
+	// checks and suppression directives see them) but not type-checked:
+	// external test packages would need the package under test compiled
+	// twice, and no type-resolved check applies to test code.
+	TestFiles []*ast.File
+	// Types and Info hold the go/types results for Files.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Module is a loaded, type-checked module.
+type Module struct {
+	// Root is the absolute directory containing go.mod.
+	Root string
+	// Path is the module path declared in go.mod.
+	Path string
+	Fset *token.FileSet
+	// Packages is sorted by Rel.
+	Packages []*Package
+
+	byRel map[string]*Package
+}
+
+// ByRel returns the package at a module-relative directory, or nil.
+func (m *Module) ByRel(rel string) *Package { return m.byRel[rel] }
+
+// Load parses and type-checks every package of the module rooted at dir
+// (which must contain go.mod). Directories named testdata, hidden
+// directories, and nested modules (subdirectories with their own go.mod)
+// are skipped, mirroring the go tool. Imports within the module resolve to
+// the loaded packages; all other imports (standard library) are
+// type-checked from source via go/importer, so the driver needs no
+// compiled export data and no external packages.
+func Load(dir string) (*Module, error) {
+	root, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{
+		Root:  root,
+		Path:  modPath,
+		Fset:  token.NewFileSet(),
+		byRel: map[string]*Package{},
+	}
+	if err := m.parseTree(); err != nil {
+		return nil, err
+	}
+	if err := m.typeCheck(); err != nil {
+		return nil, err
+	}
+	sort.Slice(m.Packages, func(i, j int) bool { return m.Packages[i].Rel < m.Packages[j].Rel })
+	return m, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: not a module root: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// parseTree walks the module and parses every Go source file.
+func (m *Module) parseTree() error {
+	return filepath.WalkDir(m.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != m.Root {
+				if name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+					return filepath.SkipDir
+				}
+				if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+					return filepath.SkipDir // nested module
+				}
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		return m.parseFile(path)
+	})
+}
+
+func (m *Module) parseFile(path string) error {
+	dir := filepath.Dir(path)
+	rel, err := filepath.Rel(m.Root, dir)
+	if err != nil {
+		return err
+	}
+	if rel == "." {
+		rel = ""
+	}
+	rel = filepath.ToSlash(rel)
+	f, err := parser.ParseFile(m.Fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return err
+	}
+	pkg := m.byRel[rel]
+	if pkg == nil {
+		importPath := m.Path
+		if rel != "" {
+			importPath = m.Path + "/" + rel
+		}
+		pkg = &Package{Rel: rel, Dir: dir, ImportPath: importPath}
+		m.byRel[rel] = pkg
+		m.Packages = append(m.Packages, pkg)
+	}
+	if strings.HasSuffix(path, "_test.go") {
+		pkg.TestFiles = append(pkg.TestFiles, f)
+		return nil
+	}
+	pkg.Files = append(pkg.Files, f)
+	pkg.FileNames = append(pkg.FileNames, path)
+	return nil
+}
+
+// typeCheck type-checks the module's packages in dependency order.
+func (m *Module) typeCheck() error {
+	order, err := m.topoOrder()
+	if err != nil {
+		return err
+	}
+	imp := &moduleImporter{
+		mod: m,
+		std: importer.ForCompiler(m.Fset, "source", nil),
+	}
+	for _, pkg := range order {
+		if len(pkg.Files) == 0 {
+			continue // test-only directory
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		conf := types.Config{Importer: imp}
+		tp, err := conf.Check(pkg.ImportPath, m.Fset, pkg.Files, info)
+		if err != nil {
+			return fmt.Errorf("lint: type-checking %s: %w", pkg.ImportPath, err)
+		}
+		pkg.Types, pkg.Info = tp, info
+	}
+	return nil
+}
+
+// topoOrder sorts packages so every module-internal import precedes its
+// importer. Import cycles are reported as errors.
+func (m *Module) topoOrder() ([]*Package, error) {
+	const (
+		white = iota // unvisited
+		gray         // on the current DFS path
+		black        // done
+	)
+	state := map[*Package]int{}
+	var order []*Package
+	var visit func(p *Package) error
+	visit = func(p *Package) error {
+		switch state[p] {
+		case black:
+			return nil
+		case gray:
+			return fmt.Errorf("lint: import cycle through %s", p.ImportPath)
+		}
+		state[p] = gray
+		for _, dep := range m.internalImports(p) {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[p] = black
+		order = append(order, p)
+		return nil
+	}
+	// Packages is already populated in walk order; visit in sorted order
+	// for determinism.
+	pkgs := append([]*Package(nil), m.Packages...)
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Rel < pkgs[j].Rel })
+	for _, p := range pkgs {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// internalImports lists the loaded packages that p's non-test files import.
+func (m *Module) internalImports(p *Package) []*Package {
+	seen := map[string]bool{}
+	var deps []*Package
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			rel, ok := m.relOf(path)
+			if !ok || seen[rel] {
+				continue
+			}
+			seen[rel] = true
+			if dep := m.byRel[rel]; dep != nil {
+				deps = append(deps, dep)
+			}
+		}
+	}
+	sort.Slice(deps, func(i, j int) bool { return deps[i].Rel < deps[j].Rel })
+	return deps
+}
+
+// relOf converts an import path to a module-relative directory, reporting
+// whether the path belongs to this module.
+func (m *Module) relOf(importPath string) (string, bool) {
+	if importPath == m.Path {
+		return "", true
+	}
+	if rest, ok := strings.CutPrefix(importPath, m.Path+"/"); ok {
+		return rest, true
+	}
+	return "", false
+}
+
+// moduleImporter resolves module-internal imports from the loaded packages
+// and everything else (the standard library) from source.
+type moduleImporter struct {
+	mod *Module
+	std types.Importer
+}
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	if rel, ok := mi.mod.relOf(path); ok {
+		p := mi.mod.byRel[rel]
+		if p == nil || p.Types == nil {
+			return nil, fmt.Errorf("lint: internal import %q not loaded", path)
+		}
+		return p.Types, nil
+	}
+	return mi.std.Import(path)
+}

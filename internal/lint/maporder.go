@@ -1,0 +1,244 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// checkMapOrder flags `range` loops over maps whose bodies do something
+// order-sensitive: write to an io.Writer / fmt.Fprint* / encoding/csv,
+// emit obs events, or append to a local slice that is never sorted
+// afterwards. Go's map iteration order is deliberately randomized, so any
+// of these turns a run's output into a roll of the dice — exactly the bug
+// class the byte-identical CSV and trace contracts forbid.
+//
+// The blessed idiom passes clean: collect keys into a slice, sort it, and
+// range over the slice. An append inside the loop is therefore fine when a
+// sort.* / slices.* call on the same slice follows the loop in the same
+// statement list.
+//
+// Limits (documented, not accidental): emission hidden behind a helper
+// call and appends to non-local slices (struct fields, map entries) are
+// not tracked. Test files are exempt.
+func checkMapOrder(m *Module) []Finding {
+	var out []Finding
+	for _, pkg := range m.Packages {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			stmtLists(f, func(list []ast.Stmt) {
+				for i, stmt := range list {
+					rs, ok := unwrapLabeled(stmt).(*ast.RangeStmt)
+					if !ok || !isMapRange(pkg.Info, rs) {
+						continue
+					}
+					out = append(out, m.analyzeMapRange(pkg, rs, list[i+1:])...)
+				}
+			})
+		}
+	}
+	return out
+}
+
+// stmtLists invokes fn on every statement list in the file: block bodies
+// plus switch/select clause bodies. Having the list (not just the node)
+// lets the analysis look at what follows a range loop.
+func stmtLists(f *ast.File, fn func(list []ast.Stmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.BlockStmt:
+			fn(s.List)
+		case *ast.CaseClause:
+			fn(s.Body)
+		case *ast.CommClause:
+			fn(s.Body)
+		}
+		return true
+	})
+}
+
+func unwrapLabeled(s ast.Stmt) ast.Stmt {
+	for {
+		l, ok := s.(*ast.LabeledStmt)
+		if !ok {
+			return s
+		}
+		s = l.Stmt
+	}
+}
+
+func isMapRange(info *types.Info, rs *ast.RangeStmt) bool {
+	t := info.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// analyzeMapRange inspects one map-range body for order-sensitive effects.
+func (m *Module) analyzeMapRange(pkg *Package, rs *ast.RangeStmt, after []ast.Stmt) []Finding {
+	var out []Finding
+	obsPath := m.Path + "/internal/obs"
+	// appends records each appended-to local slice variable at the
+	// position of its first append (AST encounter order, so the findings
+	// below come out deterministic), pending the sorted-after test.
+	type appendSite struct {
+		obj types.Object
+		pos token.Pos
+	}
+	var appends []appendSite
+	seen := map[types.Object]bool{}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if b, ok := pkg.Info.Uses[fun].(*types.Builtin); ok && b.Name() == "append" && len(call.Args) > 0 {
+				if obj := rootObject(pkg.Info, call.Args[0]); obj != nil && !seen[obj] {
+					seen[obj] = true
+					appends = append(appends, appendSite{obj, call.Pos()})
+				}
+			}
+		case *ast.SelectorExpr:
+			if why := emissionKind(pkg.Info, fun, obsPath); why != "" {
+				out = append(out, m.finding(call.Pos(), "maporder",
+					"%s inside range over map: iteration order is randomized — sort the keys and range over the slice", why))
+			}
+		}
+		return true
+	})
+
+	for _, a := range appends {
+		if !sortedAfter(pkg.Info, after, a.obj) {
+			out = append(out, m.finding(a.pos, "maporder",
+				"append to %s inside range over map without sorting it afterwards: iteration order is randomized — sort %s (or the map keys) before it is consumed",
+				a.obj.Name(), a.obj.Name()))
+		}
+	}
+	return out
+}
+
+// emissionKind classifies a selector call as order-sensitive output,
+// returning a human-readable description or "".
+func emissionKind(info *types.Info, sel *ast.SelectorExpr, obsPath string) string {
+	// Package-level fmt.Print*/Fprint* calls.
+	if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+		if fn.Pkg().Path() == "fmt" &&
+			(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+			return "fmt." + fn.Name()
+		}
+	}
+	selection := info.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return ""
+	}
+	recv := selection.Recv()
+	name := sel.Sel.Name
+	if strings.HasPrefix(name, "Write") && implementsWriter(recv) {
+		return "write to io.Writer (" + types.TypeString(recv, nil) + ")." + name
+	}
+	if p := namedPkgPath(recv); p != "" {
+		switch p {
+		case "encoding/csv":
+			return "encoding/csv emission ." + name
+		case obsPath:
+			return "obs event emission ." + name
+		}
+	}
+	return ""
+}
+
+// namedPkgPath returns the defining package path of a (possibly pointer)
+// named receiver type.
+func namedPkgPath(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Path()
+}
+
+// writerIface is io.Writer, constructed structurally so the check needs no
+// import of the io package from the target module.
+var writerIface = func() *types.Interface {
+	params := types.NewTuple(types.NewVar(token.NoPos, nil, "p", types.NewSlice(types.Typ[types.Byte])))
+	results := types.NewTuple(
+		types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+		types.NewVar(token.NoPos, nil, "err", types.Universe.Lookup("error").Type()),
+	)
+	sig := types.NewSignatureType(nil, nil, nil, params, results, false)
+	return types.NewInterfaceType([]*types.Func{types.NewFunc(token.NoPos, nil, "Write", sig)}, nil).Complete()
+}()
+
+func implementsWriter(t types.Type) bool {
+	return types.Implements(t, writerIface) || types.Implements(types.NewPointer(t), writerIface)
+}
+
+// rootObject resolves an append target to a local variable object. Only
+// plain identifiers (possibly parenthesized) are tracked; appends into
+// struct fields or map entries are out of scope.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = p.X
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// sortedAfter reports whether any statement after the range loop calls a
+// sort.* or slices.* function with obj somewhere in its arguments.
+func sortedAfter(info *types.Info, after []ast.Stmt, obj types.Object) bool {
+	for _, stmt := range after {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(an ast.Node) bool {
+					if id, ok := an.(*ast.Ident); ok && info.Uses[id] == obj {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,3 @@
+module bad
+
+go 1.22

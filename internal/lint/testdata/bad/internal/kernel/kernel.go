@@ -1,0 +1,21 @@
+// Package kernel seeds a randomness violation and a malformed suppression
+// directive: the //lint:ignore below names a check but gives no reason, so
+// it must be reported itself AND fail to suppress the wallclock finding.
+package kernel
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Roll draws from math/rand outside internal/xrand.
+func Roll() int {
+	return rand.Int()
+}
+
+// Nap sleeps on the host clock; the reasonless directive above it must not
+// silence the finding.
+func Nap() {
+	//lint:ignore wallclock
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,7 @@
+// Package obs breaches the observer layering rule by importing the
+// simulated machine it is supposed to passively watch.
+package obs
+
+import "bad/internal/sim"
+
+var _ = sim.Config{}

@@ -1,0 +1,36 @@
+// Package sim seeds deliberate violations for tridentlint's golden tests
+// and the CI negative gate: an aliased wall-clock read, an unsorted
+// map-order emission, a layering breach (sim importing the runner), and a
+// Config field missing from the runner's memo key.
+package sim
+
+import (
+	"fmt"
+	tt "time"
+
+	"bad/internal/runner"
+)
+
+// Config mirrors the real sim.Config shape. Extra is covered by neither
+// runner.cacheKey nor runner.MemoKeyExclusions — the memokey check must
+// flag it.
+type Config struct {
+	Workload int
+	Seed     uint64
+	Extra    bool
+}
+
+var _ = runner.Touch // layering: the simulated world must not import the engine above it
+
+// Stamp reads the wall clock through an aliased import — the exact hole
+// the old grep-based lint could not see.
+func Stamp() int64 {
+	return tt.Now().UnixNano()
+}
+
+// Dump emits in map-iteration order.
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

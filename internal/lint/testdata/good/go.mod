@@ -1,0 +1,3 @@
+module good
+
+go 1.22

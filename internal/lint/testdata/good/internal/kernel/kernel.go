@@ -1,0 +1,20 @@
+// Package kernel demonstrates the sorted-emission idiom: collect, sort,
+// then print in slice order.
+package kernel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Dump prints a map deterministically.
+func Dump(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}

@@ -1,0 +1,15 @@
+// Package runner keeps its memo key in lockstep with sim.Config: every
+// exported Config field is either keyed (case-folded) or excluded with a
+// reason.
+package runner
+
+type cacheKey struct {
+	workload int
+	seed     uint64
+}
+
+var _ = cacheKey{}
+
+var MemoKeyExclusions = map[string]string{
+	"Obs": "recorder only observes a run; it can never change a result",
+}

@@ -1,0 +1,43 @@
+// Package sim is the clean twin of the bad fixture: every determinism
+// idiom done right. tridentlint must stay completely silent on this
+// module.
+package sim
+
+import (
+	"sort"
+	"time"
+)
+
+// Config's Obs field is excluded from the memo key with a documented
+// reason; Workload and Seed are keyed.
+type Config struct {
+	Workload int
+	Seed     uint64
+	Obs      *Recorder
+}
+
+// Recorder is a stand-in for an observability hook.
+type Recorder struct{}
+
+// Tick is duration arithmetic, not a clock read — legal everywhere.
+const Tick = 5 * time.Millisecond
+
+// Keys returns sorted map keys: the blessed iteration idiom. The append
+// inside the range is fine because the slice is sorted before use.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// hostNow is a deliberate wall-clock read carrying a well-formed
+// suppression: the directive names the check and gives a reason, so the
+// finding must be silenced and the module stays clean.
+//
+//lint:ignore wallclock fixture: proves a reasoned suppression is honored
+func hostNow() int64 { return time.Now().UnixNano() }
+
+var _ = hostNow

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// simulatedPackages are the module-relative directories that make up the
+// simulated world: everything whose behavior must be a pure function of
+// sim.Config. Reading the wall clock (or scheduling against it) inside any
+// of them would leak host timing into results and break the bit-exact
+// determinism contract (TestParallelDeterminism, TestCheckpointKillAndResume,
+// TestObsPureObserver). Wall-clock usage belongs in runner/ and cmd/ only.
+//
+// The table is shared by the wallclock and layering checks; a new machine
+// package slots in by adding one line.
+var simulatedPackages = []string{
+	"internal/audit",
+	"internal/buddy",
+	"internal/chaos",
+	"internal/compact",
+	"internal/core",
+	"internal/fault",
+	"internal/fragment",
+	"internal/hawkeye",
+	"internal/kernel",
+	"internal/mmu",
+	"internal/obs",
+	"internal/pagetable",
+	"internal/perfmodel",
+	"internal/phys",
+	"internal/promote",
+	"internal/sim",
+	"internal/tlb",
+	"internal/virt",
+	"internal/vmm",
+	"internal/workload",
+	"internal/zerofill",
+}
+
+func isSimulated(rel string) bool {
+	for _, p := range simulatedPackages {
+		if rel == p {
+			return true
+		}
+	}
+	return false
+}
+
+// wallClockFuncs are the package-level time functions that observe or
+// schedule against the host clock. time.Duration arithmetic and constants
+// (time.Millisecond, d.Seconds(), ...) remain legal — they are units, not
+// clock reads.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// checkWallclock flags type-resolved uses of wall-clock time functions in
+// the simulated-world packages. Resolution goes through go/types, so an
+// aliased import (`import t "time"; t.Now()`) or a captured function value
+// (`f := time.Now`) cannot slip past the way the old grep lint allowed.
+// Test files are exempt: tests may time themselves.
+func checkWallclock(m *Module) []Finding {
+	var out []Finding
+	for _, pkg := range m.Packages {
+		if !isSimulated(pkg.Rel) || pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj := pkg.Info.Uses[sel.Sel]
+				fn, ok := obj.(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+					return true
+				}
+				if wallClockFuncs[fn.Name()] {
+					out = append(out, m.finding(sel.Pos(), "wallclock",
+						"time.%s in simulated-world package %s: timestamps must be simulated event time (DESIGN.md §7)",
+						fn.Name(), pkg.Rel))
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// randAllowedPackages may import math/rand: only internal/xrand, the
+// repo's deterministic splitmix64 source. Everything else must draw from
+// xrand streams so that seeds fully determine every random sequence.
+var randAllowedPackages = []string{"internal/xrand"}
+
+// checkRandomness flags imports of math/rand and math/rand/v2 anywhere
+// outside the allowed packages — test files included, since a stray
+// rand.Shuffle in a test fixture makes failures unreproducible.
+func checkRandomness(m *Module) []Finding {
+	allowed := func(rel string) bool {
+		for _, p := range randAllowedPackages {
+			if rel == p {
+				return true
+			}
+		}
+		return false
+	}
+	var out []Finding
+	for _, pkg := range m.Packages {
+		if allowed(pkg.Rel) {
+			continue
+		}
+		files := append(append([]*ast.File(nil), pkg.Files...), pkg.TestFiles...)
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if path == "math/rand" || path == "math/rand/v2" {
+					out = append(out, m.finding(imp.Pos(), "randomness",
+						"import of %s outside internal/xrand: all randomness must flow from seeded xrand streams", path))
+				}
+			}
+		}
+	}
+	return out
+}

@@ -395,6 +395,17 @@ func runJob(ctx context.Context, j *Job, r *jobResult, opts Options, ckpt *check
 	r.out, r.err = res, e
 }
 
+// MemoKeyExclusions is the explicit, introspectable list of sim.Config
+// fields deliberately NOT fingerprinted by cacheKey, with the reason each
+// one cannot affect a Result. Every other exported Config field must have a
+// (case-folded) twin in cacheKey. Two guards hold the contract: the
+// tridentlint memokey check proves it statically at lint time, and
+// TestMemoKeyCoversConfig proves it by reflection at test time — a new
+// Config field fails both until it is either keyed or listed here.
+var MemoKeyExclusions = map[string]string{
+	"Obs": "observability only: a recorder observes a run and never influences it, so configs differing only in Obs must share a cache slot",
+}
+
 // cacheKey is the canonical, comparable fingerprint of a normalized
 // sim.Config. The Workload spec and TLB geometry are embedded by value, so
 // distinct pointers to equal specs (workload.All allocates fresh specs per
