@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench benchcheck chaos fuzz lint obs verify clean
+.PHONY: all build vet test race bench benchcheck benchjson chaos fuzz lint obs verify clean
 
 all: build
 
@@ -45,6 +45,14 @@ fuzz:
 # API drift without paying for real measurement.
 benchcheck:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
+
+# Perf-trajectory gate: run BenchmarkFigure9 + the translation
+# microbenchmarks (min of 3 × -benchtime 3x), append one
+# {pr, bench, ns_per_op, allocs_per_op} record per bench to
+# BENCH_trident.json, and fail on a >15% ns/op regression vs each bench's
+# last recorded entry from an earlier PR.
+benchjson:
+	$(GO) run ./cmd/benchjson
 
 # Determinism & layering lint (tridentlint, DESIGN.md §8): type-resolved
 # wall-clock ban in the simulated world, math/rand confined to

@@ -33,6 +33,12 @@ go test -race -run 'TestChaos|TestAuditEvery|TestObs' ./internal/sim
 go test -run '^$' -fuzz FuzzKernelOpsAudit -fuzztime 10s ./internal/kernel
 go test -run '^$' -bench=. -benchtime=1x ./...
 
+# Perf-trajectory gate: BenchmarkFigure9 + the translation microbenchmarks
+# (min of 3 × -benchtime 3x) appended to BENCH_trident.json as
+# {pr, bench, ns_per_op, allocs_per_op}; fails on a >15% ns/op regression
+# vs each bench's last recorded entry from an earlier PR.
+go run ./cmd/benchjson
+
 # Observability gate: a small traced experiment must produce a valid
 # Perfetto trace (parse, monotonic per-track timestamps, balanced spans)
 # and a non-empty per-batch time series.

@@ -16,7 +16,7 @@ package buddy
 import (
 	"errors"
 	"fmt"
-	"slices"
+	"math/bits"
 
 	"repro/internal/phys"
 	"repro/internal/units"
@@ -31,13 +31,24 @@ type Allocator struct {
 	mem      *phys.Memory
 	maxOrder int
 
-	// freeOrder[pfn] is the order of the free chunk headed at pfn, or -1 if
-	// pfn is not the head of a free chunk.
-	freeOrder []int8
+	// freeOrder[pfn>>foChunkBits][pfn&(foChunkSize-1)] holds order+1 for
+	// the free chunk headed at pfn, or 0 if pfn is not the head of a free
+	// chunk. Chunks materialize on first write: a nil chunk means "no write
+	// since New", whose contents are the deterministic initial tiling (the
+	// maxOrder-aligned heads hold maxOrder+1, everything else 0), so reads
+	// reconstruct them without ever allocating. Regions of physical memory
+	// the run never touches therefore cost no allocation or zeroing — at
+	// full machine scale the flat array was tens of MB of memclr per
+	// kernel construction.
+	freeOrder [][]int8
 
-	// heaps hold candidate free-chunk heads per order, min-pfn first, with
-	// lazy deletion (entries are validated against freeOrder when popped).
-	heaps []pfnHeap
+	// free holds the free-chunk heads per order as exact bitmaps over chunk
+	// indexes (pfn >> order), replacing the earlier lazy-deletion min-heap:
+	// insert/remove are single bit operations, and pop scans words upward
+	// from a per-order cursor — "lowest-addressed chunk first" falls out of
+	// bit order, so the allocation sequence (and with it every simulated
+	// run) is bit-identical to the heap version's.
+	free []freeList
 
 	// counts are the live free-chunk counts per order.
 	counts []uint64
@@ -65,18 +76,60 @@ func New(mem *phys.Memory, maxOrder int) *Allocator {
 	a := &Allocator{
 		mem:       mem,
 		maxOrder:  maxOrder,
-		freeOrder: make([]int8, mem.Frames()),
-		heaps:     make([]pfnHeap, maxOrder+1),
+		freeOrder: make([][]int8, (mem.Frames()+foChunkSize-1)>>foChunkBits),
+		free:      make([]freeList, maxOrder+1),
 		counts:    make([]uint64, maxOrder+1),
 	}
-	for i := range a.freeOrder {
-		a.freeOrder[i] = -1
+	for o := range a.free {
+		nchunks := mem.Frames() >> uint(o)
+		a.free[o].words = make([]uint64, (nchunks+63)/64)
 	}
+	// Seed the maxOrder tiling directly in the bitmap; the freeOrder side
+	// of each insert is implicit in the nil-chunk initial pattern, so no
+	// freeOrder chunk materializes here.
 	chunk := uint64(1) << uint(maxOrder)
 	for pfn := uint64(0); pfn < mem.Frames(); pfn += chunk {
-		a.insertFree(pfn, maxOrder)
+		idx := pfn >> uint(maxOrder)
+		a.free[maxOrder].words[idx>>6] |= 1 << (idx & 63)
+		a.counts[maxOrder]++
 	}
 	return a
+}
+
+// freeOrder chunking: 1<<16 frames (256MB of physical memory) per chunk.
+const (
+	foChunkBits = 16
+	foChunkSize = 1 << foChunkBits
+)
+
+// freeOrderAt reads the order+1 code for pfn. A nil chunk reproduces the
+// initial tiling New established: maxOrder+1 at maxOrder-aligned heads,
+// 0 elsewhere.
+func (a *Allocator) freeOrderAt(pfn uint64) int8 {
+	if c := a.freeOrder[pfn>>foChunkBits]; c != nil {
+		return c[pfn&(foChunkSize-1)]
+	}
+	if pfn&(uint64(1)<<uint(a.maxOrder)-1) == 0 {
+		return int8(a.maxOrder) + 1
+	}
+	return 0
+}
+
+// setFreeOrder writes the order+1 code for pfn, materializing the chunk
+// with the initial tiling pattern on first write.
+func (a *Allocator) setFreeOrder(pfn uint64, v int8) {
+	ci := pfn >> foChunkBits
+	c := a.freeOrder[ci]
+	if c == nil {
+		c = make([]int8, foChunkSize)
+		align := uint64(1) << uint(a.maxOrder)
+		base := ci << foChunkBits
+		for p := (base + align - 1) &^ (align - 1); p < base+foChunkSize && p < a.mem.Frames(); p += align {
+			c[p-base] = int8(a.maxOrder) + 1
+		}
+		a.freeOrder[ci] = c
+	}
+	c[pfn&(foChunkSize-1)] = v
 }
 
 // MaxOrder returns the largest order the free lists track.
@@ -140,7 +193,7 @@ func (a *Allocator) AllocSpecific(pfn uint64, order int, unmovable bool) error {
 	var head uint64
 	for o := order; o <= a.maxOrder; o++ {
 		h := pfn &^ ((uint64(1) << uint(o)) - 1)
-		if int(a.freeOrder[h]) == o {
+		if int(a.freeOrderAt(h)) == o+1 {
 			cover = o
 			head = h
 			break
@@ -175,7 +228,7 @@ func (a *Allocator) Free(pfn uint64, order int) {
 	a.mem.MarkFree(pfn, uint64(1)<<uint(order)) // panics on double free
 	for order < a.maxOrder {
 		buddyPfn := pfn ^ (uint64(1) << uint(order))
-		if buddyPfn >= a.mem.Frames() || int(a.freeOrder[buddyPfn]) != order {
+		if buddyPfn >= a.mem.Frames() || int(a.freeOrderAt(buddyPfn)) != order+1 {
 			break
 		}
 		a.removeFree(buddyPfn, order)
@@ -215,47 +268,71 @@ func (a *Allocator) FreeBytesAtOrder(order int) uint64 {
 
 // FreeChunkHeads returns the head PFNs of all live free chunks of exactly
 // the given order, in ascending address order. Intended for tests and
-// diagnostics; O(heap size).
+// diagnostics; O(bitmap words).
 func (a *Allocator) FreeChunkHeads(order int) []uint64 {
 	var heads []uint64
-	for _, pfn := range a.heaps[order] {
-		if int(a.freeOrder[pfn]) == order {
-			heads = append(heads, pfn)
+	for w, word := range a.free[order].words {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			heads = append(heads, (uint64(w)*64+uint64(b))<<uint(order))
 		}
 	}
-	// The heap may contain duplicates of stale entries for a pfn that was
-	// re-freed at the same order; deduplicate while sorting.
-	return dedupSorted(heads)
+	// The bitmap is exact and scanned in address order: already sorted,
+	// no duplicates.
+	return heads
+}
+
+// freeList is one order's free-chunk-head bitmap. Bit i set means the chunk
+// headed at pfn i<<order is free at this order. cursor is the index of the
+// lowest word that may contain a set bit: inserts lower it, pops advance it,
+// and removals only ever raise the true minimum, so it stays a valid lower
+// bound without maintenance.
+type freeList struct {
+	words  []uint64
+	cursor int
 }
 
 func (a *Allocator) insertFree(pfn uint64, order int) {
-	a.freeOrder[pfn] = int8(order)
-	a.heaps[order].push(pfn)
+	a.setFreeOrder(pfn, int8(order)+1)
+	idx := pfn >> uint(order)
+	fl := &a.free[order]
+	w := int(idx >> 6)
+	fl.words[w] |= 1 << (idx & 63)
+	if w < fl.cursor {
+		fl.cursor = w
+	}
 	a.counts[order]++
 }
 
 // popFree removes and returns the lowest-addressed free chunk of the order.
 func (a *Allocator) popFree(order int) uint64 {
-	h := &a.heaps[order]
-	for len(*h) > 0 {
-		pfn := h.pop()
-		if int(a.freeOrder[pfn]) == order {
-			a.freeOrder[pfn] = -1
-			a.counts[order]--
-			return pfn
+	fl := &a.free[order]
+	for w := fl.cursor; w < len(fl.words); w++ {
+		word := fl.words[w]
+		if word == 0 {
+			continue
 		}
-		// Stale entry from lazy deletion; skip.
+		fl.cursor = w
+		b := bits.TrailingZeros64(word)
+		fl.words[w] = word &^ (1 << uint(b))
+		pfn := (uint64(w)*64 + uint64(b)) << uint(order)
+		a.setFreeOrder(pfn, 0)
+		a.counts[order]--
+		return pfn
 	}
-	panic(fmt.Sprintf("buddy: count says order %d has free chunks but heap is empty", order))
+	panic(fmt.Sprintf("buddy: count says order %d has free chunks but bitmap is empty", order))
 }
 
-// removeFree removes a specific chunk from its free list (lazy deletion).
+// removeFree removes a specific chunk from its free list.
 func (a *Allocator) removeFree(pfn uint64, order int) {
-	if int(a.freeOrder[pfn]) != order {
+	if int(a.freeOrderAt(pfn)) != order+1 {
 		panic(fmt.Sprintf("buddy: removeFree(%d, %d) but freeOrder is %d",
-			pfn, order, a.freeOrder[pfn]))
+			pfn, order, int(a.freeOrderAt(pfn))-1))
 	}
-	a.freeOrder[pfn] = -1
+	a.setFreeOrder(pfn, 0)
+	idx := pfn >> uint(order)
+	a.free[order].words[idx>>6] &^= 1 << (idx & 63)
 	a.counts[order]--
 }
 
@@ -295,66 +372,4 @@ func (a *Allocator) CheckInvariants() error {
 		return fmt.Errorf("buddy free %d != phys free %d", freeFrames, a.mem.FreeFrames())
 	}
 	return nil
-}
-
-func dedupSorted(s []uint64) []uint64 {
-	if len(s) == 0 {
-		return s
-	}
-	// A heap array is only loosely ordered, and a fragmented machine's
-	// order-0 list holds hundreds of thousands of heads — the invariant
-	// auditor calls this on every check, so it must be O(n log n).
-	slices.Sort(s)
-	out := s[:1]
-	for _, v := range s[1:] {
-		if v != out[len(out)-1] {
-			out = append(out, v)
-		}
-	}
-	return out
-}
-
-// pfnHeap is a min-heap of PFNs. push/pop mirror container/heap's sift
-// algorithms exactly (same comparisons, same swap order, so the pop
-// sequence — and with it every simulated allocation — is bit-identical to
-// the container/heap version), but operate on uint64 directly: the
-// interface boxing of heap.Push/heap.Pop was the simulator's single
-// largest allocation source (~7M allocations per figure on the fault path).
-type pfnHeap []uint64
-
-func (h *pfnHeap) push(v uint64) {
-	s := append(*h, v)
-	j := len(s) - 1
-	for j > 0 {
-		i := (j - 1) / 2
-		if s[i] <= s[j] {
-			break
-		}
-		s[i], s[j] = s[j], s[i]
-		j = i
-	}
-	*h = s
-}
-
-func (h *pfnHeap) pop() uint64 {
-	s := *h
-	n := len(s) - 1
-	s[0], s[n] = s[n], s[0]
-	i := 0
-	for {
-		j := 2*i + 1
-		if j >= n {
-			break
-		}
-		if j2 := j + 1; j2 < n && s[j2] < s[j] {
-			j = j2
-		}
-		if s[i] <= s[j] {
-			break
-		}
-		s[i], s[j] = s[j], s[i]
-		i = j
-	}
-	*h = s[:n]
-	return s[n]
 }

@@ -22,7 +22,6 @@ import (
 	"fmt"
 
 	"repro/internal/kernel"
-	"repro/internal/pagetable"
 	"repro/internal/perfmodel"
 	"repro/internal/units"
 	"repro/internal/vmm"
@@ -31,12 +30,7 @@ import (
 
 // rangeUnmapped reports whether [head, head+size) has no leaf mappings.
 func rangeUnmapped(t *kernel.Task, head uint64, size units.PageSize) bool {
-	mapped := false
-	t.AS.PT.ForEach(head, head+size.Bytes(), func(pagetable.Mapping) bool {
-		mapped = true
-		return false
-	})
-	return !mapped
+	return !t.AS.PT.Overlaps(head, size)
 }
 
 // Result describes how one fault was served.

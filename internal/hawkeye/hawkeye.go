@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/compact"
 	"repro/internal/kernel"
+	"repro/internal/pagetable"
 	"repro/internal/perfmodel"
 	"repro/internal/promote"
 	"repro/internal/units"
@@ -63,6 +64,8 @@ type Daemon struct {
 	// bloat remembers populated bytes at promotion time per huge page, for
 	// recovery decisions.
 	bloat map[bloatKey]uint64
+	// mapBuf is the collapse scratch buffer reused across promotions.
+	mapBuf []pagetable.Mapping
 }
 
 type bloatKey struct {
@@ -150,7 +153,7 @@ func (d *Daemon) promote2M(t *kernel.Task, va uint64) error {
 			return nil
 		}
 	}
-	populated, ns, err := promote.Collapse(d.K, t, va, units.Size2M, pfn, false)
+	populated, ns, err := promote.Collapse(d.K, t, va, units.Size2M, pfn, false, &d.mapBuf)
 	if err != nil {
 		return err
 	}

@@ -47,9 +47,13 @@ type Kernel struct {
 	// affected page.
 	Shootdown func(t *Task, va uint64, size units.PageSize)
 
-	// KernelAllocated tracks frames held by unmovable kernel allocations,
-	// keyed by head PFN → order (for validation on free).
-	kernelAllocs map[uint64]int
+	// kernelAllocs tracks frames held by unmovable kernel allocations as a
+	// flat per-frame array: kernelAllocs[pfn] is order+1 for the head of a
+	// live kernel chunk, 0 otherwise. The fragmenter churns kernel
+	// allocations by the hundred thousand, so this replaced a
+	// map[uint64]int — and as a side effect ForEachKernelAlloc's
+	// iteration order became deterministic (ascending PFN).
+	kernelAllocs []uint8
 
 	// Ops counts completed page-table operations since boot. The counters
 	// are deterministic functions of the op stream (never of wall time),
@@ -76,7 +80,7 @@ func New(memBytes uint64, maxOrder int) *Kernel {
 		Mem:          mem,
 		Buddy:        buddy.New(mem, maxOrder),
 		tasks:        make(map[uint32]*Task),
-		kernelAllocs: make(map[uint64]int),
+		kernelAllocs: make([]uint8, mem.Frames()),
 	}
 }
 
@@ -287,27 +291,29 @@ func (k *Kernel) KernelAlloc(order int) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	k.kernelAllocs[pfn] = order
+	k.kernelAllocs[pfn] = uint8(order + 1)
 	return pfn, nil
 }
 
 // KernelFree releases a kernel allocation made with KernelAlloc.
 func (k *Kernel) KernelFree(pfn uint64) error {
-	order, ok := k.kernelAllocs[pfn]
-	if !ok {
+	enc := k.kernelAllocs[pfn]
+	if enc == 0 {
 		return fmt.Errorf("kernel: KernelFree of unknown pfn %d", pfn)
 	}
-	delete(k.kernelAllocs, pfn)
-	k.Buddy.Free(pfn, order)
+	k.kernelAllocs[pfn] = 0
+	k.Buddy.Free(pfn, int(enc)-1)
 	return nil
 }
 
 // ForEachKernelAlloc visits every live kernel allocation as (head PFN,
-// order). Iteration order is unspecified; the invariant auditor sorts what
-// it needs. Return false to stop early.
+// order), in ascending PFN order. Return false to stop early.
 func (k *Kernel) ForEachKernelAlloc(fn func(pfn uint64, order int) bool) {
-	for pfn, order := range k.kernelAllocs {
-		if !fn(pfn, order) {
+	for pfn, enc := range k.kernelAllocs {
+		if enc == 0 {
+			continue
+		}
+		if !fn(uint64(pfn), int(enc)-1) {
 			return
 		}
 	}

@@ -17,7 +17,7 @@ type LayerRule struct {
 // layerRules is the declared import DAG (DESIGN.md §8). The architecture,
 // bottom to top:
 //
-//	units, stats, xrand                      (leaves: no internal imports)
+//	units, stats, xrand, stream              (leaves: no internal imports)
 //	phys … tlb … kernel … sim                (the simulated machine)
 //	obs                                      (passive observer: leaves only)
 //	runner                                   (experiment engine)
@@ -42,7 +42,7 @@ var layerRules = []LayerRule{
 		Why:  "the runner executes jobs for the experiment drivers, never the reverse",
 	},
 	{
-		From: []string{"internal/units", "internal/stats", "internal/xrand"},
+		From: []string{"internal/units", "internal/stats", "internal/xrand", "internal/stream"},
 		Deny: []string{"..."},
 		Why:  "leaf package: must not import anything module-internal",
 	},

@@ -32,6 +32,7 @@ var simulatedPackages = []string{
 	"internal/phys",
 	"internal/promote",
 	"internal/sim",
+	"internal/stream",
 	"internal/tlb",
 	"internal/virt",
 	"internal/vmm",

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/pagetable"
 	"repro/internal/perfmodel"
+	"repro/internal/stream"
 	"repro/internal/tlb"
 	"repro/internal/units"
 )
@@ -45,6 +46,10 @@ type MMU struct {
 	// flush discipline the fast path depends on (DESIGN.md §5a) and costs a
 	// full page-table walk per hit, so it must stay off outside tests.
 	ShadowCheck bool
+
+	// sweepSizes is TranslateBatch's reusable per-reference page-size
+	// scratch, sized to the largest batch seen.
+	sweepSizes []uint8
 }
 
 // New creates a native-mode MMU with the given translation-cache config.
@@ -73,16 +78,38 @@ func NewNested(cfg tlb.Config) *MMU {
 // the hit path ever used from the mapping.
 func (m *MMU) Translate(pt *pagetable.Table, va uint64, write bool) bool {
 	if lvl, size, ok := m.TLB.Probe(va); ok {
-		if m.ShadowCheck {
-			m.shadowCheckNative(pt, va, size)
-		}
-		st := &m.BySize[size]
-		st.Accesses++
-		if lvl == tlb.HitL2 {
-			st.L2Hits++
-		}
-		return true
+		return m.hitNative(pt, va, size, lvl)
 	}
+	return m.missNative(pt, va, write)
+}
+
+// translateL1Missed is Translate for a reference already proven (by
+// tlb.SweepL1) to miss every L1: the probe starts at the L2 stage. The
+// skipped L1 probes are stateless misses, so the outcome and every state
+// transition match Translate exactly.
+func (m *MMU) translateL1Missed(pt *pagetable.Table, va uint64, write bool) bool {
+	if size, ok := m.TLB.ProbeL2(va); ok {
+		return m.hitNative(pt, va, size, tlb.HitL2)
+	}
+	return m.missNative(pt, va, write)
+}
+
+// hitNative finishes a native translation satisfied by the TLB probe.
+func (m *MMU) hitNative(pt *pagetable.Table, va uint64, size units.PageSize, lvl tlb.Level) bool {
+	if m.ShadowCheck {
+		m.shadowCheckNative(pt, va, size)
+	}
+	st := &m.BySize[size]
+	st.Accesses++
+	if lvl == tlb.HitL2 {
+		st.L2Hits++
+	}
+	return true
+}
+
+// missNative resolves a native reference that missed the whole TLB probe:
+// page-table lookup, walk accounting, entry installation — or a fault.
+func (m *MMU) missNative(pt *pagetable.Table, va uint64, write bool) bool {
 	mapping, ok := pt.Lookup(va)
 	if !ok {
 		m.Faults++
@@ -91,16 +118,13 @@ func (m *MMU) Translate(pt *pagetable.Table, va uint64, write bool) bool {
 	size := mapping.Size
 	st := &m.BySize[size]
 	st.Accesses++
-	switch m.TLB.Access(va, size) {
-	case tlb.HitL1:
-	case tlb.HitL2:
-		st.L2Hits++
-	case tlb.Miss:
-		st.Walks++
-		st.WalkMemAccesses += uint64(m.PWC.WalkAccesses(va, size))
-		// The hardware walker sets the accessed (and dirty) bits.
-		pt.Translate(va, write)
-	}
+	// The probe that routed us here covered every structure at every size,
+	// so this install cannot hit anything.
+	m.TLB.AccessMissedAll(va, size)
+	st.Walks++
+	st.WalkMemAccesses += uint64(m.PWC.WalkAccesses(va, size))
+	// The hardware walker sets the accessed (and dirty) bits.
+	pt.Translate(va, write)
 	return true
 }
 
@@ -142,18 +166,38 @@ func (m *MMU) shadowCheckNested(gpt, hpt *pagetable.Table, va uint64, eff units.
 // this simulator always backs guest memory.
 func (m *MMU) TranslateNested(gpt, hpt *pagetable.Table, va uint64, write bool) bool {
 	if lvl, eff, ok := m.TLB.Probe(va); ok {
-		// Combined gVA→hPA entries are tagged at the effective page size, so
-		// a hit recovers eff without touching either dimension's table.
-		if m.ShadowCheck {
-			m.shadowCheckNested(gpt, hpt, va, eff)
-		}
-		st := &m.BySize[eff]
-		st.Accesses++
-		if lvl == tlb.HitL2 {
-			st.L2Hits++
-		}
-		return true
+		return m.hitNested(gpt, hpt, va, eff, lvl)
 	}
+	return m.missNested(gpt, hpt, va, write)
+}
+
+// translateNestedL1Missed is TranslateNested with the L1 probes skipped,
+// for references tlb.SweepL1 already proved miss every L1.
+func (m *MMU) translateNestedL1Missed(gpt, hpt *pagetable.Table, va uint64, write bool) bool {
+	if eff, ok := m.TLB.ProbeL2(va); ok {
+		return m.hitNested(gpt, hpt, va, eff, tlb.HitL2)
+	}
+	return m.missNested(gpt, hpt, va, write)
+}
+
+// hitNested finishes a nested translation satisfied by the TLB probe.
+// Combined gVA→hPA entries are tagged at the effective page size, so a hit
+// recovers eff without touching either dimension's table.
+func (m *MMU) hitNested(gpt, hpt *pagetable.Table, va uint64, eff units.PageSize, lvl tlb.Level) bool {
+	if m.ShadowCheck {
+		m.shadowCheckNested(gpt, hpt, va, eff)
+	}
+	st := &m.BySize[eff]
+	st.Accesses++
+	if lvl == tlb.HitL2 {
+		st.L2Hits++
+	}
+	return true
+}
+
+// missNested resolves a nested reference that missed the whole TLB probe:
+// the 2D walk — or a guest fault.
+func (m *MMU) missNested(gpt, hpt *pagetable.Table, va uint64, write bool) bool {
 	gm, ok := gpt.Lookup(va)
 	if !ok {
 		m.Faults++
@@ -170,19 +214,81 @@ func (m *MMU) TranslateNested(gpt, hpt *pagetable.Table, va uint64, write bool) 
 	}
 	st := &m.BySize[eff]
 	st.Accesses++
-	switch m.TLB.Access(va, eff) {
-	case tlb.HitL1:
-	case tlb.HitL2:
-		st.L2Hits++
-	case tlb.Miss:
-		st.Walks++
-		g := m.PWC.WalkAccesses(va, gm.Size)
-		h := m.HostPWC.WalkAccesses(gpa, hm.Size)
-		st.WalkMemAccesses += uint64(g + (g+1)*h)
-		gpt.Translate(va, write)
-		hpt.Translate(gpa, write)
-	}
+	// As in missNative: the routing probe proved a full-hierarchy miss.
+	m.TLB.AccessMissedAll(va, eff)
+	st.Walks++
+	g := m.PWC.WalkAccesses(va, gm.Size)
+	h := m.HostPWC.WalkAccesses(gpa, hm.Size)
+	st.WalkMemAccesses += uint64(g + (g+1)*h)
+	gpt.Translate(va, write)
+	hpt.Translate(gpa, write)
 	return true
+}
+
+// TranslateBatch translates a batch of references in stream order and
+// returns how many it completed. A return value short of len(batch) means
+// batch[done] faulted (Faults has been charged, exactly as Translate would);
+// the caller services the fault and re-enters with the remainder of the
+// batch, which re-probes from scratch — the fault handler may have remapped
+// pages and shot down entries, so nothing precomputed survives it.
+//
+// The pipeline alternates two régimes: tlb.SweepL1 consumes maximal runs of
+// L1 hits in a tight loop over the flat tag arrays, then the first reference
+// that misses every L1 is resolved through the ordinary scalar path
+// (L2 probe, page walk, or fault) before the sweep resumes. Splitting at
+// exactly that boundary is what keeps the batch byte-identical to scalar
+// translation: L1 hits never change TLB membership, while L2 hits and walks
+// insert/evict entries that later probes must observe (DESIGN.md §5b).
+//
+// hpt selects the mode: nil translates natively against gpt; non-nil runs
+// the nested gVA→hPA path.
+func (m *MMU) TranslateBatch(gpt, hpt *pagetable.Table, batch []stream.Access) int {
+	if cap(m.sweepSizes) < len(batch) {
+		m.sweepSizes = make([]uint8, len(batch))
+	}
+	sizes := m.sweepSizes[:len(batch)]
+	done := 0
+	for done < len(batch) {
+		n := m.TLB.SweepL1(batch[done:], sizes[done:])
+		if n > 0 {
+			if m.ShadowCheck {
+				// The sweep touches only TLB LRU state, never the page
+				// tables, so checking its hits after the run sees the same
+				// tables a per-hit check would have.
+				for k := done; k < done+n; k++ {
+					s := units.PageSize(sizes[k])
+					if hpt != nil {
+						m.shadowCheckNested(gpt, hpt, batch[k].VA, s)
+					} else {
+						m.shadowCheckNative(gpt, batch[k].VA, s)
+					}
+				}
+			}
+			for k := done; k < done+n; k++ {
+				m.BySize[sizes[k]].Accesses++
+			}
+			done += n
+			if done == len(batch) {
+				break
+			}
+		}
+		// batch[done] missed every L1: resolve it exactly as the scalar
+		// path would from its L2 probe on (SweepL1 already performed the
+		// L1 probes, and misses touch no state, so re-probing them would
+		// be pure waste).
+		a := batch[done]
+		var ok bool
+		if hpt != nil {
+			ok = m.translateNestedL1Missed(gpt, hpt, a.VA, a.Write)
+		} else {
+			ok = m.translateL1Missed(gpt, a.VA, a.Write)
+		}
+		if !ok {
+			return done
+		}
+		done++
+	}
+	return done
 }
 
 // Totals sums the per-size stats.

@@ -63,6 +63,12 @@ type Table struct {
 	mappedBytes [units.NumPageSizes]uint64
 	mappedPages [units.NumPageSizes]uint64
 	wc          walkCache
+
+	// Free lists of reclaimed (all-zero, see newNode) page-table nodes,
+	// split by shape: inner nodes carry a 512-pointer children slice,
+	// level-1 nodes do not.
+	poolInner []*node
+	poolLeaf  []*node
 }
 
 // walkCache remembers where the previous walk ended, so spatially-local
@@ -93,16 +99,36 @@ type node struct {
 	live     int     // number of present entries, for table reclamation
 }
 
-func newNode(level int) *node {
-	n := &node{}
+// newNode returns a zeroed node for the given level, reusing a reclaimed
+// one when available: Unmap only reclaims nodes with live == 0, and a node
+// with no present entries is provably all-zero (entries are zeroed when
+// their mapping or child is removed, and child pointers are nil'd on
+// reclamation), so pooled nodes need no clearing. The fault path maps and
+// unmaps intermediate tables constantly under churn/compaction; reuse keeps
+// that off the allocator.
+func (t *Table) newNode(level int) *node {
 	if level > 1 {
-		n.children = make([]*node, 512)
+		if k := len(t.poolInner); k > 0 {
+			n := t.poolInner[k-1]
+			t.poolInner = t.poolInner[:k-1]
+			return n
+		}
+		return &node{children: make([]*node, 512)}
 	}
-	return n
+	if k := len(t.poolLeaf); k > 0 {
+		n := t.poolLeaf[k-1]
+		t.poolLeaf = t.poolLeaf[:k-1]
+		return n
+	}
+	return &node{}
 }
 
 // New creates an empty page table.
-func New() *Table { return &Table{root: newNode(4)} }
+func New() *Table {
+	t := &Table{}
+	t.root = t.newNode(4)
+	return t
+}
 
 // leafLevel returns the level at which a page of the given size terminates:
 // 3 for 1GB (PDPTE), 2 for 2MB (PDE), 1 for 4KB (PTE).
@@ -144,12 +170,26 @@ func checkVA(va uint64, size units.PageSize) error {
 // Map installs a leaf mapping of the given size at va → pfn. The entire
 // range must be unmapped; otherwise ErrOverlap is returned and the table is
 // unchanged.
+//
+// Overlap is detected in O(depth) during the single installing descent,
+// replacing a subtree scan (rangeMapped/ForEach) that dominated the fault
+// path's Map cost:
+//
+//   - a PS leaf along the path covers va: overlap;
+//   - a present target-level entry is either a same-size leaf or (for huge
+//     mappings) an intermediate table, which — since every allocated node
+//     holds at least one present entry — contains a smaller leaf strictly
+//     inside the range: overlap;
+//   - an absent entry along the path proves its whole span, which contains
+//     the target range, is unmapped: Map will succeed.
+//
+// Detection always fires before the descent mutates anything: intermediate
+// nodes are only created below the first absent entry, and everything
+// beneath a freshly created node is empty, so no failure is possible after
+// the first node is created.
 func (t *Table) Map(va, pfn uint64, size units.PageSize) error {
 	if err := checkVA(va, size); err != nil {
 		return err
-	}
-	if t.rangeMapped(va, va+size.Bytes()) {
-		return ErrOverlap
 	}
 	t.invalidate()
 	target := leafLevel(size)
@@ -157,18 +197,18 @@ func (t *Table) Map(va, pfn uint64, size units.PageSize) error {
 	for level := 4; level > target; level-- {
 		i := index(va, level)
 		if n.entries[i]&flagPresent == 0 {
-			child := newNode(level - 1)
+			child := t.newNode(level - 1)
 			n.children[i] = child
 			n.entries[i] = flagPresent
 			n.live++
 		} else if n.entries[i]&flagPS != 0 {
-			return ErrOverlap // covered by a larger leaf (defensive; rangeMapped caught it)
+			return ErrOverlap // covered by a larger leaf
 		}
 		n = n.children[i]
 	}
 	i := index(va, target)
 	if n.entries[i]&flagPresent != 0 {
-		return ErrOverlap
+		return ErrOverlap // same-size leaf, or a table holding smaller leaves
 	}
 	e := uint64(flagPresent) | pfn<<pfnShift
 	if target > 1 {
@@ -181,14 +221,36 @@ func (t *Table) Map(va, pfn uint64, size units.PageSize) error {
 	return nil
 }
 
-// rangeMapped reports whether any leaf mapping intersects [lo, hi).
-func (t *Table) rangeMapped(lo, hi uint64) bool {
-	found := false
-	t.ForEach(lo, hi, func(Mapping) bool {
-		found = true
-		return false
-	})
-	return found
+// Overlaps reports whether any leaf mapping intersects the naturally
+// aligned page range [va, va+size) in O(depth). One descent along va
+// decides everything:
+//
+//   - an absent intermediate entry proves its whole span — which contains
+//     the target range, since spans at levels above the target are at
+//     least as large — is unmapped: no overlap;
+//   - a PS leaf along the path covers va: overlap;
+//   - a present entry at the target level is either a leaf at va or an
+//     intermediate table, and every allocated table has live ≥ 1 (Unmap
+//     reclaims empty tables bottom-up), so by induction some leaf lies
+//     strictly inside the target range: overlap.
+//
+// The fault path's huge-page attempts use this to test candidate ranges
+// without iterating the subtree (ForEach) or faulting in a trial Map.
+func (t *Table) Overlaps(va uint64, size units.PageSize) bool {
+	target := leafLevel(size)
+	n := t.root
+	for level := 4; level > target; level-- {
+		i := index(va, level)
+		e := n.entries[i]
+		if e&flagPresent == 0 {
+			return false
+		}
+		if e&flagPS != 0 {
+			return true
+		}
+		n = n.children[i]
+	}
+	return n.entries[index(va, target)]&flagPresent != 0
 }
 
 // Unmap removes the leaf mapping of exactly the given size at va and returns
@@ -222,7 +284,8 @@ func (t *Table) Unmap(va uint64, size units.PageSize) (uint64, error) {
 	n.live--
 	t.mappedBytes[size] -= size.Bytes()
 	t.mappedPages[size]--
-	// Reclaim now-empty tables bottom-up.
+	// Reclaim now-empty tables bottom-up, returning them to the node pool
+	// (they are all-zero at this point, the state newNode hands back out).
 	for level := target + 1; level <= 4 && n.live == 0; level++ {
 		parent := path[level]
 		if parent == nil {
@@ -232,6 +295,11 @@ func (t *Table) Unmap(va uint64, size units.PageSize) (uint64, error) {
 		parent.children[pi] = nil
 		parent.entries[pi] = 0
 		parent.live--
+		if n.children != nil {
+			t.poolInner = append(t.poolInner, n)
+		} else {
+			t.poolLeaf = append(t.poolLeaf, n)
+		}
 		n = parent
 	}
 	return pfn, nil

@@ -57,9 +57,17 @@ type Memory struct {
 	unmovable bitset
 
 	// rmap holds, for the head frame of each user mapping, an index+1 into
-	// owners. Non-head frames and unmapped frames hold 0.
-	rmap      []uint32
-	owners    []Owner
+	// owners. Non-head frames and unmapped frames hold 0. It is chunked,
+	// with chunks allocated on first write: machines are built per run and
+	// workloads touch a fraction of physical memory, so a flat array spent
+	// more time being zero-initialized than being used.
+	rmap [][]uint32
+	// owners is chunked (ownerChunk entries per chunk) so that growth
+	// appends a fresh chunk instead of reallocating: the fault path
+	// registers an owner per mapped page, and a flat doubling slice spent
+	// more time zeroing and copying regrown arrays than on bookkeeping.
+	owners    [][]Owner
+	nextOwner uint32
 	ownerFree []uint32
 
 	allocFrames     uint64
@@ -80,8 +88,11 @@ func NewMemory(bytes uint64) *Memory {
 		regions:   make([]RegionStats, nRegions),
 		allocated: newBitset(frames),
 		unmovable: newBitset(frames),
-		rmap:      make([]uint32, frames),
-		owners:    []Owner{{}}, // index 0 reserved
+		rmap:      make([][]uint32, (frames+rmapChunk-1)>>rmapChunkBits),
+		// Index 0 reserved (rmap uses 0 for "no owner").
+		owners:    [][]Owner{make([]Owner, ownerChunk)},
+		nextOwner: 1,
+		ownerFree: make([]uint32, 0, 1024),
 	}
 	for i := range m.regions {
 		m.regions[i].Free = units.FramesPerRegion
@@ -130,18 +141,24 @@ func (m *Memory) IsUnmovable(pfn uint64) bool { return m.unmovable.get(pfn) }
 // this on every allocation. Frames must currently be free.
 func (m *Memory) MarkAllocated(pfn, count uint64, unmovable bool) {
 	m.checkRange(pfn, count)
-	for f := pfn; f < pfn+count; f++ {
-		if m.allocated.get(f) {
-			panic(fmt.Sprintf("phys: double allocation of frame %d", f))
-		}
-		m.allocated.set(f)
+	m.allocated.setRange(pfn, count, "allocation")
+	if unmovable {
+		m.unmovable.setRange(pfn, count, "unmovable mark")
+	}
+	// Region counters, one region at a time: buddy chunks are aligned
+	// power-of-two runs, so a range covers whole regions or part of one.
+	for f := pfn; f < pfn+count; {
 		r := units.RegionOfFrame(f)
-		m.regions[r].Free--
+		end := (r + 1) * units.FramesPerRegion
+		if end > pfn+count {
+			end = pfn + count
+		}
+		m.regions[r].Free -= end - f
 		m.regions[r].Zeroed = false
 		if unmovable {
-			m.unmovable.set(f)
-			m.regions[r].Unmovable++
+			m.regions[r].Unmovable += end - f
 		}
+		f = end
 	}
 	m.allocFrames += count
 	if unmovable {
@@ -154,21 +171,36 @@ func (m *Memory) MarkAllocated(pfn, count uint64, unmovable bool) {
 // interior frames must have been cleared by the caller first.
 func (m *Memory) MarkFree(pfn, count uint64) {
 	m.checkRange(pfn, count)
-	for f := pfn; f < pfn+count; f++ {
-		if !m.allocated.get(f) {
-			panic(fmt.Sprintf("phys: double free of frame %d", f))
+	m.allocated.clearRange(pfn, count, "free")
+	for f := pfn; f < pfn+count; {
+		c := m.rmap[f>>rmapChunkBits]
+		end := (f>>rmapChunkBits + 1) << rmapChunkBits
+		if end > pfn+count {
+			end = pfn + count
 		}
-		if m.rmap[f] != 0 {
-			m.clearOwnerAt(f)
+		if c == nil { // no owner was ever registered in this chunk
+			f = end
+			continue
 		}
-		m.allocated.clear(f)
+		for ; f < end; f++ {
+			if c[f&(rmapChunk-1)] != 0 {
+				m.clearOwnerAt(f)
+			}
+		}
+	}
+	for f := pfn; f < pfn+count; {
 		r := units.RegionOfFrame(f)
-		m.regions[r].Free++
-		if m.unmovable.get(f) {
-			m.unmovable.clear(f)
-			m.regions[r].Unmovable--
-			m.unmovableFrames--
+		end := (r + 1) * units.FramesPerRegion
+		if end > pfn+count {
+			end = pfn + count
 		}
+		m.regions[r].Free += end - f
+		if u := m.unmovable.countRange(f, end-f); u > 0 {
+			m.unmovable.clearAll(f, end-f)
+			m.regions[r].Unmovable -= u
+			m.unmovableFrames -= u
+		}
+		f = end
 	}
 	m.allocFrames -= count
 }
@@ -185,33 +217,73 @@ func (m *Memory) SetOwner(pfn uint64, o Owner) {
 	if !m.allocated.get(pfn) {
 		panic(fmt.Sprintf("phys: SetOwner on free frame %d", pfn))
 	}
-	if m.rmap[pfn] != 0 {
+	if m.rmapAt(pfn) != 0 {
 		panic(fmt.Sprintf("phys: frame %d already has an owner", pfn))
 	}
 	var idx uint32
 	if n := len(m.ownerFree); n > 0 {
 		idx = m.ownerFree[n-1]
 		m.ownerFree = m.ownerFree[:n-1]
-		m.owners[idx] = o
 	} else {
-		m.owners = append(m.owners, o)
-		idx = uint32(len(m.owners) - 1)
+		idx = m.nextOwner
+		if int(idx>>ownerChunkBits) == len(m.owners) {
+			m.owners = append(m.owners, make([]Owner, ownerChunk))
+		}
+		m.nextOwner++
 	}
-	m.rmap[pfn] = idx
+	*m.ownerAt(idx) = o
+	m.rmapSet(pfn, idx)
+}
+
+const (
+	ownerChunkBits = 15
+	ownerChunk     = 1 << ownerChunkBits
+
+	rmapChunkBits = 16
+	rmapChunk     = 1 << rmapChunkBits
+)
+
+// rmapAt reads the owner index registered at frame f (0 = none).
+func (m *Memory) rmapAt(f uint64) uint32 {
+	c := m.rmap[f>>rmapChunkBits]
+	if c == nil {
+		return 0
+	}
+	return c[f&(rmapChunk-1)]
+}
+
+// rmapSet writes the owner index for frame f, allocating its chunk.
+func (m *Memory) rmapSet(f uint64, v uint32) {
+	c := m.rmap[f>>rmapChunkBits]
+	if c == nil {
+		c = make([]uint32, rmapChunk)
+		m.rmap[f>>rmapChunkBits] = c
+	}
+	c[f&(rmapChunk-1)] = v
+}
+
+// ownerAt returns the owner slot for a chunked index.
+func (m *Memory) ownerAt(idx uint32) *Owner {
+	return &m.owners[idx>>ownerChunkBits][idx&(ownerChunk-1)]
 }
 
 // ClearOwner removes the mapping registration at head frame pfn.
 func (m *Memory) ClearOwner(pfn uint64) {
-	if m.rmap[pfn] == 0 {
+	if m.rmapAt(pfn) == 0 {
 		panic(fmt.Sprintf("phys: ClearOwner on unowned frame %d", pfn))
 	}
 	m.clearOwnerAt(pfn)
 }
 
 func (m *Memory) clearOwnerAt(pfn uint64) {
-	idx := m.rmap[pfn]
-	m.rmap[pfn] = 0
-	m.owners[idx] = Owner{}
+	idx := m.rmapAt(pfn)
+	m.rmapSet(pfn, 0)
+	*m.ownerAt(idx) = Owner{}
+	if len(m.ownerFree) == cap(m.ownerFree) {
+		next := make([]uint32, len(m.ownerFree), 2*cap(m.ownerFree))
+		copy(next, m.ownerFree)
+		m.ownerFree = next
+	}
 	m.ownerFree = append(m.ownerFree, idx)
 }
 
@@ -221,16 +293,20 @@ func (m *Memory) clearOwnerAt(pfn uint64) {
 // mapping at itself, a 2MB mapping at its 2MB-aligned head, or a 1GB mapping
 // at its 1GB-aligned head.
 func (m *Memory) OwnerOf(pfn uint64) (Owner, uint64, bool) {
-	if idx := m.rmap[pfn]; idx != 0 {
-		return m.owners[idx], pfn, true
+	if idx := m.rmapAt(pfn); idx != 0 {
+		return *m.ownerAt(idx), pfn, true
 	}
 	head2M := pfn &^ (units.Size2M.Frames() - 1)
-	if idx := m.rmap[head2M]; idx != 0 && m.owners[idx].Size == units.Size2M {
-		return m.owners[idx], head2M, true
+	if idx := m.rmapAt(head2M); idx != 0 {
+		if o := m.ownerAt(idx); o.Size == units.Size2M {
+			return *o, head2M, true
+		}
 	}
 	head1G := pfn &^ (units.Size1G.Frames() - 1)
-	if idx := m.rmap[head1G]; idx != 0 && m.owners[idx].Size == units.Size1G {
-		return m.owners[idx], head1G, true
+	if idx := m.rmapAt(head1G); idx != 0 {
+		if o := m.ownerAt(idx); o.Size == units.Size1G {
+			return *o, head1G, true
+		}
 	}
 	return Owner{}, 0, false
 }
@@ -239,12 +315,17 @@ func (m *Memory) OwnerOf(pfn uint64) (Owner, uint64, bool) {
 // in ascending PFN order. Return false to stop early. The invariant auditor
 // uses this to cross-check the reverse map against the page tables.
 func (m *Memory) ForEachOwner(fn func(pfn uint64, o Owner) bool) {
-	for pfn, idx := range m.rmap {
-		if idx == 0 {
+	for ci, c := range m.rmap {
+		if c == nil {
 			continue
 		}
-		if !fn(uint64(pfn), m.owners[idx]) {
-			return
+		for i, idx := range c {
+			if idx == 0 {
+				continue
+			}
+			if !fn(uint64(ci)<<rmapChunkBits|uint64(i), *m.ownerAt(idx)) {
+				return
+			}
 		}
 	}
 }
@@ -276,6 +357,58 @@ func newBitset(n uint64) bitset { return make(bitset, (n+63)/64) }
 func (b bitset) get(i uint64) bool { return b[i/64]&(1<<(i%64)) != 0 }
 func (b bitset) set(i uint64)      { b[i/64] |= 1 << (i % 64) }
 func (b bitset) clear(i uint64)    { b[i/64] &^= 1 << (i % 64) }
+
+// rangeMask returns the bits of word w that fall inside [lo, lo+n).
+func rangeMask(w, lo, n uint64) uint64 {
+	mask := ^uint64(0)
+	if w == lo/64 {
+		mask &= ^uint64(0) << (lo % 64)
+	}
+	if hi := lo + n; w == (hi-1)/64 {
+		mask &= ^uint64(0) >> (63 - (hi-1)%64)
+	}
+	return mask
+}
+
+// setRange sets bits [lo, lo+n) a word at a time, panicking on the first
+// already-set bit ("double <what> of frame f", matching the old per-frame
+// loop's diagnostics).
+func (b bitset) setRange(lo, n uint64, what string) {
+	for w := lo / 64; w <= (lo+n-1)/64; w++ {
+		mask := rangeMask(w, lo, n)
+		if hit := b[w] & mask; hit != 0 {
+			panic(fmt.Sprintf("phys: double %s of frame %d", what, w*64+uint64(bits.TrailingZeros64(hit))))
+		}
+		b[w] |= mask
+	}
+}
+
+// clearRange clears bits [lo, lo+n), panicking on the first already-clear
+// bit.
+func (b bitset) clearRange(lo, n uint64, what string) {
+	for w := lo / 64; w <= (lo+n-1)/64; w++ {
+		mask := rangeMask(w, lo, n)
+		if miss := ^b[w] & mask; miss != 0 {
+			panic(fmt.Sprintf("phys: double %s of frame %d", what, w*64+uint64(bits.TrailingZeros64(miss))))
+		}
+		b[w] &^= mask
+	}
+}
+
+// countRange returns the number of set bits in [lo, lo+n).
+func (b bitset) countRange(lo, n uint64) (c uint64) {
+	for w := lo / 64; w <= (lo+n-1)/64; w++ {
+		c += uint64(bits.OnesCount64(b[w] & rangeMask(w, lo, n)))
+	}
+	return c
+}
+
+// clearAll clears bits [lo, lo+n) unconditionally.
+func (b bitset) clearAll(lo, n uint64) {
+	for w := lo / 64; w <= (lo+n-1)/64; w++ {
+		b[w] &^= rangeMask(w, lo, n)
+	}
+}
 func (b bitset) popcount() (n uint64) {
 	for _, w := range b {
 		n += uint64(bits.OnesCount64(w))

@@ -130,6 +130,10 @@ type Daemon struct {
 	// one fails (Linux's deferred-compaction behaviour: don't hammer an
 	// allocation that just proved expensive and hopeless).
 	defer1G bool
+	// spans and mapBuf are scratch buffers reused across scans so the hot
+	// promotion path does not regrow them on every pass.
+	spans  []uint64
+	mapBuf []pagetable.Mapping
 }
 
 // New creates a promotion daemon. zero may be nil (no pre-zeroed targets).
@@ -163,11 +167,12 @@ func (d *Daemon) ScanTask(t *kernel.Task, budgetNs float64) (float64, error) {
 	startNs := d.totalNs()
 	spent := func() float64 { return d.totalNs() - startNs }
 
-	var spans []uint64
+	spans := d.spans[:0]
 	t.AS.ForEachAligned(units.Size2M, func(va uint64, _ vmm.Kind) bool {
 		spans = append(spans, va)
 		return true
 	})
+	d.spans = spans
 	if len(spans) == 0 {
 		return 0, nil
 	}
@@ -255,7 +260,7 @@ func (d *Daemon) try1G(t *kernel.Task, va uint64) (bool, error) {
 	var moveNs float64
 	var copied uint64
 	var exchanged int
-	var toFree []pagetable.Mapping
+	toFree := d.mapBuf[:0]
 	t.AS.PT.ForEach(va, va+units.Page1G, func(m pagetable.Mapping) bool {
 		toFree = append(toFree, m)
 		if m.Size == units.Size2M && d.Move != MoveCopy {
@@ -270,6 +275,7 @@ func (d *Daemon) try1G(t *kernel.Task, va uint64) (bool, error) {
 		}
 		return true
 	})
+	d.mapBuf = toFree
 	switch d.Move {
 	case MovePvBatched:
 		// One hypercall carries up to 512 exchange requests (§6).
@@ -360,7 +366,7 @@ func (d *Daemon) try2M(t *kernel.Task, va uint64) (bool, error) {
 			return false, nil
 		}
 	}
-	gotPopulated, moveNs, err := Collapse(d.K, t, va, units.Size2M, pfn, false)
+	gotPopulated, moveNs, err := Collapse(d.K, t, va, units.Size2M, pfn, false, &d.mapBuf)
 	if err != nil {
 		return false, err
 	}
@@ -383,14 +389,24 @@ func (d *Daemon) try2M(t *kernel.Task, va uint64) (bool, error) {
 // (this package) and HawkEye's coverage-ordered promotion. A non-nil error
 // means the remap failed midway — the caller should stop the scan and
 // surface it rather than continue on an inconsistent address space.
-func Collapse(k *kernel.Kernel, t *kernel.Task, va uint64, size units.PageSize, pfn uint64, zeroed bool) (uint64, float64, error) {
+//
+// scratch, when non-nil, points at a caller-owned buffer that holds the
+// mappings gathered during the collapse; it is truncated before use and left
+// pointing at the (possibly regrown) buffer, so a daemon calling in a loop
+// pays for slice growth only once. Passing nil uses a local buffer.
+func Collapse(k *kernel.Kernel, t *kernel.Task, va uint64, size units.PageSize, pfn uint64, zeroed bool, scratch *[]pagetable.Mapping) (uint64, float64, error) {
 	var populated uint64
-	var toFree []pagetable.Mapping
+	var local []pagetable.Mapping
+	if scratch == nil {
+		scratch = &local
+	}
+	toFree := (*scratch)[:0]
 	t.AS.PT.ForEach(va, va+size.Bytes(), func(m pagetable.Mapping) bool {
 		toFree = append(toFree, m)
 		populated += m.Size.Bytes()
 		return true
 	})
+	*scratch = toFree
 	moveNs := perfmodel.CopyNs(populated)
 	if !zeroed {
 		moveNs += perfmodel.ZeroNs(size.Bytes() - populated)

@@ -359,13 +359,14 @@ func TestCheckpointCorruptFileIgnored(t *testing.T) {
 // fingerprint every result-affecting field of sim.Config; if this fails, a
 // field was added to sim.Config without extending keyOf (which would
 // silently alias distinct configs in the memo cache). Update keyOf, then
-// this count. Config.Obs is the one deliberate exclusion: a recorder only
-// observes a run (sim never branches on it), so configs differing only in
-// Obs must share a cache slot — hence Config carries exactly one more
-// field than cacheKey.
+// this count. Config.Obs and Config.ScalarTranslate are the deliberate
+// exclusions: a recorder only observes a run (sim never branches on it for
+// results), and the scalar/batched loops are byte-identical by construction
+// — so configs differing only in those fields must share a cache slot,
+// hence Config carries exactly two more fields than cacheKey.
 func TestConfigFieldCountGuard(t *testing.T) {
 	const keyFields = 17
-	const excludedFields = 1 // Config.Obs — observability, not identity
+	const excludedFields = 2 // Config.Obs, Config.ScalarTranslate — not identity
 	if n := reflect.TypeOf(sim.Config{}).NumField(); n != keyFields+excludedFields {
 		t.Fatalf("sim.Config has %d fields, cacheKey covers %d (+%d excluded): extend runner.keyOf for the new field(s) or document the exclusion, then bump these constants", n, keyFields, excludedFields)
 	}

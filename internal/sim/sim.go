@@ -20,9 +20,11 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/mmu"
 	"repro/internal/obs"
+	"repro/internal/pagetable"
 	"repro/internal/perfmodel"
 	"repro/internal/promote"
 	"repro/internal/stats"
+	"repro/internal/stream"
 	"repro/internal/tlb"
 	"repro/internal/units"
 	"repro/internal/virt"
@@ -143,6 +145,17 @@ type Config struct {
 	// divergence panics (see mmu.MMU.ShadowCheck). Measured results are
 	// unaffected; only tests should set it.
 	ShadowCheck bool
+
+	// ScalarTranslate forces the pre-batching one-reference-at-a-time
+	// loops (inst.Next → translateWithFaults) instead of the batched
+	// pipeline (inst.NextBatch → mmu.TranslateBatch). The two paths are
+	// byte-identical by construction (DESIGN.md §5b) and the equivalence is
+	// pinned by TestBatchScalarEquivalence, so this knob exists only as the
+	// scalar reference for that test and for bisecting any future
+	// divergence. Like Obs, it cannot affect results and is therefore
+	// excluded from the runner package's memo-cache key
+	// (runner.MemoKeyExclusions).
+	ScalarTranslate bool
 
 	// Chaos configures deterministic fault injection (internal/chaos):
 	// seed-driven forced buddy-allocation failures, zero-pool exhaustion
@@ -290,6 +303,10 @@ type runner struct {
 	obsPhase string
 	obsBase  obsBase
 	stallNs  float64
+
+	// batch is the reusable reference buffer of the batched translation
+	// pipeline (one allocation per run, filled by workload.NextBatch).
+	batch []stream.Access
 }
 
 // Run executes one configuration and returns its measurements.
@@ -851,10 +868,37 @@ func (r *runner) measureEarly(n int) error {
 // without recording request latencies; faults are serviced silently. The
 // context is checked every batchAccesses references.
 func (r *runner) accessBatch(n int) error {
-	for i := 0; i < n; i++ {
-		va, write := r.inst.Next()
-		r.translateWithFaults(va, write)
-		if (i+1)%batchAccesses == 0 {
+	if r.cfg.ScalarTranslate {
+		for i := 0; i < n; i++ {
+			va, write := r.inst.Next()
+			r.translateWithFaults(va, write)
+			if (i+1)%batchAccesses == 0 {
+				if r.cfg.Obs.BatchDone(batchAccesses) {
+					r.obsSample()
+				}
+				if err := r.ctxErr(); err != nil {
+					return err
+				}
+				if r.auditErr != nil {
+					return r.auditErr
+				}
+			}
+		}
+		return nil
+	}
+	for i := 0; i < n; {
+		c := batchAccesses
+		if rem := n - i; rem < c {
+			c = rem
+		}
+		buf := r.batchBuf()[:c]
+		r.inst.NextBatch(buf)
+		r.translateBatch(buf)
+		i += c
+		// Boundary work fires exactly where the scalar loop's
+		// (i+1)%batchAccesses == 0 check did: after each full batch, never
+		// after a short tail.
+		if c == batchAccesses {
 			if r.cfg.Obs.BatchDone(batchAccesses) {
 				r.obsSample()
 			}
@@ -867,6 +911,59 @@ func (r *runner) accessBatch(n int) error {
 		}
 	}
 	return nil
+}
+
+// batchBuf returns the run's reusable batch buffer.
+func (r *runner) batchBuf() []stream.Access {
+	if r.batch == nil {
+		r.batch = make([]stream.Access, batchAccesses)
+	}
+	return r.batch
+}
+
+// translateBatch drives one drawn batch through mmu.TranslateBatch,
+// servicing faults between re-entries with translateWithFaults' exact
+// per-reference semantics: up to three translate attempts, each failure
+// followed by one policy.Handle, and a Handle error (or a third failed
+// attempt) skips the reference. Each re-entry re-probes the remainder of
+// the batch from scratch — the fault handler may have remapped pages and
+// shot down TLB entries. Returns the accumulated synchronous fault stall.
+func (r *runner) translateBatch(batch []stream.Access) float64 {
+	var stall float64
+	gpt := r.task.AS.PT
+	var hpt *pagetable.Table
+	if r.vm != nil {
+		hpt = r.vm.HostPT()
+	}
+	off := 0
+	attempts := 0
+	faultIdx := -1
+	for off < len(batch) {
+		n := r.m.TranslateBatch(gpt, hpt, batch[off:])
+		off += n
+		if off == len(batch) {
+			break
+		}
+		// batch[off] faulted. Count attempts per reference so a reference
+		// that keeps faulting gets exactly the scalar path's three
+		// translate+Handle rounds before being skipped.
+		if off != faultIdx {
+			faultIdx, attempts = off, 0
+		}
+		attempts++
+		res, err := r.policy.Handle(r.task, batch[off].VA)
+		if err != nil {
+			// The address lies in a gap VMA page that cannot be mapped —
+			// should not happen; treat as a skipped access.
+			off++
+			continue
+		}
+		stall += res.LatencyNs
+		if attempts == 3 {
+			off++
+		}
+	}
+	return stall
 }
 
 func (r *runner) translateWithFaults(va uint64, write bool) float64 {
@@ -924,7 +1021,13 @@ func (r *runner) measure() error {
 	var reqStall float64
 	var totalStall float64
 
-	flushReq := func(i int) {
+	// flushReq closes one request window (one batch of accesses) for
+	// throughput workloads: everything accumulated since the previous flush
+	// — walk cycles, L2 overheads, fault stalls — lands in one recorded
+	// request latency. It reads only the cumulative counters, so it needs
+	// no loop index; batched and scalar loops flush at the same boundaries
+	// with the same accumulated state, keeping the p99 histogram identical.
+	flushReq := func() {
 		if !wl.Throughput {
 			return
 		}
@@ -935,39 +1038,69 @@ func (r *runner) measure() error {
 		reqHist.Record(lat)
 		reqWalkBase = tot
 		reqStall = 0
-		_ = i
 	}
 
 	batch := 0
-	for i := 0; i < r.cfg.Accesses; i++ {
-		va, write := r.inst.Next()
-		stall := r.translateWithFaults(va, write)
-		totalStall += stall
-		reqStall += stall
-		if (i+1)%batchAccesses == 0 {
-			if wl.Throughput {
-				// The store keeps inserting: allocation interleaves with serving.
-				if wl.RequestInsertBytes > 0 {
-					if ns, err := r.inst.Extend(r.policy, wl.RequestInsertBytes); err == nil {
-						reqStall += ns
-					}
+	// boundary is the per-batch bookkeeping both loops share, run after the
+	// final reference of every full batch (i is that reference's index):
+	// request flush, observability sample, cancellation and audit checks —
+	// the scalar loop's (i+1)%batchAccesses == 0 block, verbatim.
+	boundary := func(i int) error {
+		if wl.Throughput {
+			// The store keeps inserting: allocation interleaves with serving.
+			if wl.RequestInsertBytes > 0 {
+				if ns, err := r.inst.Extend(r.policy, wl.RequestInsertBytes); err == nil {
+					reqStall += ns
 				}
-				flushReq(i)
 			}
-			batch++
-			r.stallNs = totalStall
-			if r.cfg.Obs.BatchDone(batchAccesses) {
-				r.obsSample()
+			flushReq()
+		}
+		batch++
+		r.stallNs = totalStall
+		if r.cfg.Obs.BatchDone(batchAccesses) {
+			r.obsSample()
+		}
+		if err := r.ctxErr(); err != nil {
+			return err
+		}
+		if r.auditErr != nil {
+			return r.auditErr
+		}
+		if r.cfg.AuditEvery > 0 && batch%r.cfg.AuditEvery == 0 {
+			if err := r.audit(); err != nil {
+				return fmt.Errorf("sim: audit at access %d: %w", i+1, err)
 			}
-			if err := r.ctxErr(); err != nil {
-				return err
+		}
+		return nil
+	}
+
+	if r.cfg.ScalarTranslate {
+		for i := 0; i < r.cfg.Accesses; i++ {
+			va, write := r.inst.Next()
+			stall := r.translateWithFaults(va, write)
+			totalStall += stall
+			reqStall += stall
+			if (i+1)%batchAccesses == 0 {
+				if err := boundary(i); err != nil {
+					return err
+				}
 			}
-			if r.auditErr != nil {
-				return r.auditErr
+		}
+	} else {
+		for i := 0; i < r.cfg.Accesses; {
+			c := batchAccesses
+			if rem := r.cfg.Accesses - i; rem < c {
+				c = rem
 			}
-			if r.cfg.AuditEvery > 0 && batch%r.cfg.AuditEvery == 0 {
-				if err := r.audit(); err != nil {
-					return fmt.Errorf("sim: audit at access %d: %w", i+1, err)
+			buf := r.batchBuf()[:c]
+			r.inst.NextBatch(buf)
+			stall := r.translateBatch(buf)
+			totalStall += stall
+			reqStall += stall
+			i += c
+			if c == batchAccesses {
+				if err := boundary(i - 1); err != nil {
+					return err
 				}
 			}
 		}

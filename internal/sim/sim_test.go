@@ -1,8 +1,13 @@
 package sim
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/tlb"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -456,5 +461,57 @@ func TestPvRestoresHostMappings(t *testing.T) {
 	// 1GB-level behaviour (walks far below 2MB-level thrash).
 	if res.MappedFinal[units.Size1G] == 0 {
 		t.Error("guest has no 1GB pages")
+	}
+}
+
+// TestBatchScalarEquivalence pins the batched-pipeline contract (DESIGN.md
+// §5b): a configuration run through the scalar one-reference-at-a-time loop
+// (ScalarTranslate) and through the batched NextBatch → SweepL1 →
+// walk-only-misses pipeline must produce a byte-identical Result and an
+// identical per-batch time-series CSV. This is what licenses the memo-key
+// exclusion of ScalarTranslate (internal/runner) and every probe-skip the
+// batched path performs.
+func TestBatchScalarEquivalence(t *testing.T) {
+	cases := []struct {
+		workload string
+		policy   PolicyKind
+	}{
+		{"GUPS", PolicyTrident},
+		{"SVM", Policy4K},
+		{"Redis", PolicyHawkEye},
+	}
+	for _, tc := range cases {
+		t.Run(tc.workload, func(t *testing.T) {
+			run := func(scalar bool) (*Result, []byte) {
+				cfg := testConfig(tc.workload, tc.policy)
+				cfg.Accesses = 80_000
+				cfg.ScalarTranslate = scalar
+				series := filepath.Join(t.TempDir(), "series.csv")
+				ob := obs.NewObserver("", series, 1, false)
+				r := ob.NewRun(tc.workload)
+				cfg.Obs = r
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ob.Flush(r)
+				if err := ob.Close(); err != nil {
+					t.Fatal(err)
+				}
+				csv, err := os.ReadFile(series)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res, csv
+			}
+			sres, scsv := run(true)
+			bres, bcsv := run(false)
+			if !reflect.DeepEqual(sres, bres) {
+				t.Errorf("batched result differs from scalar:\nscalar:  %+v\nbatched: %+v", sres, bres)
+			}
+			if !bytes.Equal(scsv, bcsv) {
+				t.Errorf("batched series CSV differs from scalar:\nscalar:\n%s\nbatched:\n%s", scsv, bcsv)
+			}
+		})
 	}
 }

@@ -16,6 +16,7 @@ package tlb
 import (
 	"fmt"
 
+	"repro/internal/stream"
 	"repro/internal/units"
 )
 
@@ -39,6 +40,18 @@ type TLB struct {
 	lines  []uint64
 	hits   uint64
 	misses uint64
+	// sizeCounts, when non-nil, holds sets×units.NumPageSizes counters of
+	// live entries per size salt, maintained by Insert/insertMissed/
+	// Invalidate/Flush. The Hierarchy enables it on its structures so
+	// probe sweeps can skip scanning a set that holds no entry of the
+	// probed size — a guaranteed miss, and miss probes touch no state, so
+	// the skip is invisible. Nil (disabled) for PWCs, whose tags carry no
+	// size salt.
+	sizeCounts []uint8
+	// liveBySize totals the live entries per size salt across all sets,
+	// maintained alongside sizeCounts. A zero total proves any probe for
+	// that size misses without even computing its tag.
+	liveBySize [units.NumPageSizes]uint32
 }
 
 // invalidTag marks an empty way. No real tag collides with it: composed
@@ -67,23 +80,74 @@ func (t *TLB) Entries() int { return t.sets * t.ways }
 
 // base returns the flat-slice offset of tag's set.
 func (t *TLB) base(tag uint64) int {
+	return t.setOf(tag) * t.ways
+}
+
+// setOf returns the set index tag maps to.
+func (t *TLB) setOf(tag uint64) int {
 	if t.mask != 0 {
-		return int(tag&t.mask) * t.ways
+		return int(tag & t.mask)
 	}
-	return int(tag%uint64(t.sets)) * t.ways
+	return int(tag % uint64(t.sets))
+}
+
+// trackSizes enables the per-set size-salt summary (see sizeCounts).
+func (t *TLB) trackSizes() {
+	t.sizeCounts = make([]uint8, t.sets*int(units.NumPageSizes))
+}
+
+// countInc adjusts the size-salt counter for tag's set by d (±1). No-op
+// when the summary is disabled.
+func (t *TLB) countInc(tag uint64, d int) {
+	if t.sizeCounts == nil {
+		return
+	}
+	s := int(tag>>60) - 1
+	t.sizeCounts[t.setOf(tag)*int(units.NumPageSizes)+s] += uint8(d)
+	t.liveBySize[s] += uint32(d)
+}
+
+// hasSize reports whether any live entry of the given size exists anywhere in
+// the TLB; false proves a probe for that size would miss regardless of VA.
+// Always true when the summary is disabled.
+func (t *TLB) hasSize(s units.PageSize) bool {
+	return t.sizeCounts == nil || t.liveBySize[s] != 0
+}
+
+// mayContain reports whether tag's set can hold an entry of the given size;
+// false proves a probe would miss without scanning the ways. Always true
+// when the summary is disabled.
+func (t *TLB) mayContain(tag uint64, s units.PageSize) bool {
+	if t.sizeCounts == nil {
+		return true
+	}
+	return t.sizeCounts[t.setOf(tag)*int(units.NumPageSizes)+int(s)] != 0
 }
 
 // Lookup probes for tag, promoting it to MRU on a hit and recording
-// hit/miss statistics.
+// hit/miss statistics. The MRU way is tested before the general scan: it is
+// where temporal locality lands, and the early return keeps the fast path
+// small enough to inline at hot call sites.
 func (t *TLB) Lookup(tag uint64) bool {
 	b := t.base(tag)
+	if t.lines[b] == tag {
+		t.hits++
+		return true
+	}
+	return t.lookupSlow(tag, b)
+}
+
+func (t *TLB) lookupSlow(tag uint64, b int) bool {
 	set := t.lines[b : b+t.ways]
-	for w, line := range set {
-		if line == tag {
-			if w > 0 {
-				copy(set[1:w+1], set[:w])
-				set[0] = tag
+	for w := 1; w < len(set); w++ {
+		if set[w] == tag {
+			// Manual backward shift: ways are tiny (4-32), so an explicit
+			// loop beats copy()'s memmove dispatch on the hottest path in
+			// the simulator.
+			for j := w; j > 0; j-- {
+				set[j] = set[j-1]
 			}
+			set[0] = tag
 			t.hits++
 			return true
 		}
@@ -109,13 +173,21 @@ func (t *TLB) Probe(tag uint64) bool {
 // to structures the reference's (still unknown) page size never selects.
 func (t *TLB) lookupHit(tag uint64) bool {
 	b := t.base(tag)
+	if t.lines[b] == tag { // MRU fast path, as in Lookup
+		t.hits++
+		return true
+	}
+	return t.lookupHitSlow(tag, b)
+}
+
+func (t *TLB) lookupHitSlow(tag uint64, b int) bool {
 	set := t.lines[b : b+t.ways]
-	for w, line := range set {
-		if line == tag {
-			if w > 0 {
-				copy(set[1:w+1], set[:w])
-				set[0] = tag
+	for w := 1; w < len(set); w++ {
+		if set[w] == tag {
+			for j := w; j > 0; j-- {
+				set[j] = set[j-1]
 			}
+			set[0] = tag
 			t.hits++
 			return true
 		}
@@ -136,7 +208,9 @@ func (t *TLB) Insert(tag uint64) {
 	// existing entry must not cause a duplicate insertion.)
 	for w, line := range set {
 		if line == tag {
-			copy(set[1:w+1], set[:w])
+			for j := w; j > 0; j-- {
+				set[j] = set[j-1]
+			}
 			set[0] = tag
 			return
 		}
@@ -150,7 +224,36 @@ func (t *TLB) Insert(tag uint64) {
 			break
 		}
 	}
-	copy(set[1:slot+1], set[:slot])
+	if old := set[slot]; old != invalidTag {
+		t.countInc(old, -1)
+	}
+	t.countInc(tag, +1)
+	for j := slot; j > 0; j-- {
+		set[j] = set[j-1]
+	}
+	set[0] = tag
+}
+
+// insertMissed is Insert for a tag the caller has proven absent (by a
+// completed miss probe of this structure): the duplicate-promotion scan is
+// skipped. The resulting set contents are exactly Insert's.
+func (t *TLB) insertMissed(tag uint64) {
+	b := t.base(tag)
+	set := t.lines[b : b+t.ways]
+	slot := t.ways - 1
+	for w, line := range set {
+		if line == invalidTag {
+			slot = w
+			break
+		}
+	}
+	if old := set[slot]; old != invalidTag {
+		t.countInc(old, -1)
+	}
+	t.countInc(tag, +1)
+	for j := slot; j > 0; j-- {
+		set[j] = set[j-1]
+	}
 	set[0] = tag
 }
 
@@ -161,6 +264,7 @@ func (t *TLB) Invalidate(tag uint64) {
 	for w, line := range set {
 		if line == tag {
 			set[w] = invalidTag
+			t.countInc(tag, -1)
 			return
 		}
 	}
@@ -171,6 +275,10 @@ func (t *TLB) Flush() {
 	for i := range t.lines {
 		t.lines[i] = invalidTag
 	}
+	for i := range t.sizeCounts {
+		t.sizeCounts[i] = 0
+	}
+	t.liveBySize = [units.NumPageSizes]uint32{}
 }
 
 // Stats returns the cumulative hit and miss counts.
@@ -237,6 +345,16 @@ type Hierarchy struct {
 	l1Hits   [units.NumPageSizes]uint64
 	l2Hits   [units.NumPageSizes]uint64
 	walks    [units.NumPageSizes]uint64
+
+	// sweepHint is the page size of SweepL1's most recent L1 hit. Streams
+	// are heavily biased toward one page size at a time, so probing the
+	// last-hitting size first resolves most sweep references with a single
+	// lookup. Pure performance state: probe order across sizes cannot
+	// change which entry hits (a VA never has live entries at two sizes,
+	// see Probe), and a miss probe touches no state.
+	sweepHint units.PageSize
+	// probeHint is the same idea for ProbeL2's most recent L2 hit.
+	probeHint units.PageSize
 }
 
 // NewHierarchy builds a TLB hierarchy from cfg.
@@ -250,6 +368,11 @@ func NewHierarchy(cfg Config) *Hierarchy {
 	h.l2[units.Size4K] = shared
 	h.l2[units.Size2M] = shared
 	h.l2[units.Size1G] = NewTLB("L2-1GB", cfg.L2Huge.Sets, cfg.L2Huge.Ways)
+	for s := units.PageSize(0); s < units.NumPageSizes; s++ {
+		h.l1[s].trackSizes()
+	}
+	shared.trackSizes()
+	h.l2[units.Size1G].trackSizes()
 	return h
 }
 
@@ -304,14 +427,14 @@ func (h *Hierarchy) Probe(va uint64) (Level, units.PageSize, bool) {
 		tags[s] = tag(va, s)
 	}
 	for s := units.PageSize(0); s < units.NumPageSizes; s++ {
-		if h.l1[s].lookupHit(tags[s]) {
+		if h.l1[s].hasSize(s) && h.l1[s].lookupHit(tags[s]) {
 			h.accesses[s]++
 			h.l1Hits[s]++
 			return HitL1, s, true
 		}
 	}
 	for s := units.PageSize(0); s < units.NumPageSizes; s++ {
-		if h.l2[s].lookupHit(tags[s]) {
+		if h.l2[s].hasSize(s) && h.l2[s].lookupHit(tags[s]) {
 			// Access would have gone through L1 first and charged it a miss.
 			h.l1[s].countMiss()
 			h.accesses[s]++
@@ -321,6 +444,97 @@ func (h *Hierarchy) Probe(va uint64) (Level, units.PageSize, bool) {
 		}
 	}
 	return HitL1, 0, false
+}
+
+// SweepL1 is the batched fast path: it consumes the longest prefix of batch
+// whose references all hit an L1 TLB, writes each consumed reference's page
+// size (recovered from the size-salted tag that hit) into sizes, and returns
+// the consumed count. The sweep parks at the first reference that misses
+// every L1 — that reference and the rest of the batch are untouched, and the
+// caller resolves the parked reference through the ordinary L2/walk path.
+//
+// Byte-identity with per-reference Probe calls holds because the sweep stops
+// before any state transition that could alter a later probe's outcome: an
+// L1 hit only reorders LRU ranks within the hitting set (membership is
+// unchanged, so every later probe sees the same hit/miss outcome), whereas
+// an L2 hit or a walk would insert entries and evict others. Counter updates
+// per consumed reference are exactly Probe's L1-hit updates.
+func (h *Hierarchy) SweepL1(batch []stream.Access, sizes []uint8) int {
+	hint := h.sweepHint
+	k := 0
+sweep:
+	for ; k < len(batch); k++ {
+		va := batch[k].VA
+		if h.l1[hint].lookupHit(tag(va, hint)) {
+			h.accesses[hint]++
+			h.l1Hits[hint]++
+			sizes[k] = uint8(hint)
+			continue
+		}
+		for s := units.PageSize(0); s < units.NumPageSizes; s++ {
+			if s == hint || !h.l1[s].hasSize(s) {
+				continue
+			}
+			t := tag(va, s)
+			if h.l1[s].mayContain(t, s) && h.l1[s].lookupHit(t) {
+				h.accesses[s]++
+				h.l1Hits[s]++
+				sizes[k] = uint8(s)
+				hint = s
+				continue sweep
+			}
+		}
+		break
+	}
+	h.sweepHint = hint
+	return k
+}
+
+// ProbeL2 is Probe for a reference already proven to miss every L1 — the
+// state SweepL1 leaves its parked reference in. It performs exactly what
+// Probe's L2 stage would: the skipped L1 probes are lookupHit misses, which
+// touch no state and no counters, so skipping them is invisible. On an L2
+// hit the entry is installed in its L1 (charging the L1 miss) exactly as
+// Probe does; on a full miss nothing is touched.
+func (h *Hierarchy) ProbeL2(va uint64) (units.PageSize, bool) {
+	hint := h.probeHint
+	if t := tag(va, hint); h.l2[hint].mayContain(t, hint) && h.l2[hint].lookupHit(t) {
+		h.probeL2Hit(hint, t)
+		return hint, true
+	}
+	for s := units.PageSize(0); s < units.NumPageSizes; s++ {
+		if s == hint || !h.l2[s].hasSize(s) {
+			continue
+		}
+		if t := tag(va, s); h.l2[s].mayContain(t, s) && h.l2[s].lookupHit(t) {
+			h.probeL2Hit(s, t)
+			h.probeHint = s
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+func (h *Hierarchy) probeL2Hit(s units.PageSize, t uint64) {
+	h.l1[s].countMiss()
+	h.accesses[s]++
+	h.l2Hits[s]++
+	h.l1[s].insertMissed(t) // SweepL1 proved t absent from this L1
+}
+
+// AccessMissedAll performs Access's Miss arm for a reference already proven
+// — by a completed Probe, or by SweepL1 followed by ProbeL2 — to miss every
+// structure in the hierarchy. The guaranteed-miss lookups collapse to miss
+// counts and the installs skip their duplicate-promotion scans; counter and
+// content transitions are exactly Access's on a full miss.
+func (h *Hierarchy) AccessMissedAll(va uint64, size units.PageSize) {
+	h.accesses[size]++
+	t := tag(va, size)
+	h.l1[size].countMiss()
+	h.l2[size].countMiss()
+	h.walks[size]++
+	h.l2[size].insertMissed(t)
+	h.l1[size].insertMissed(t)
 }
 
 // ForEachEntry visits every live translation in the hierarchy as the

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/kernel"
+	"repro/internal/stream"
 	"repro/internal/units"
 )
 
@@ -30,4 +31,27 @@ func BenchmarkInstanceNext(b *testing.B) {
 		sink += va
 	}
 	_ = sink
+}
+
+// BenchmarkNextBatch measures the precompiled batched draw path — the
+// producer stage of the batched translation pipeline. Reported per batch of
+// 2000 references (the pipeline's batch size), so ns/op ÷ 2000 is the
+// steady-state per-draw cost.
+func BenchmarkNextBatch(b *testing.B) {
+	spec, ok := ByName("GUPS")
+	if !ok {
+		b.Fatal("unknown workload GUPS")
+	}
+	k := kernel.New(2*units.Page1G, units.TridentMaxOrder)
+	task := k.NewTask("bench")
+	inst, err := spec.Instantiate(k, task, fault.NewTHP(k), 42, testScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]stream.Access, 2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst.NextBatch(buf)
+	}
 }

@@ -26,10 +26,12 @@ package workload
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/fault"
 	"repro/internal/kernel"
 	"repro/internal/perfmodel"
+	"repro/internal/stream"
 	"repro/internal/units"
 	"repro/internal/vmm"
 	"repro/internal/xrand"
@@ -301,6 +303,11 @@ type Instance struct {
 	coldThresh   float64 // StackFrac + FringeFrac + ColdFrac
 	hasStack     bool
 	hasFringe    bool
+	// plan holds the compiled draw stream for NextBatch: the rejection
+	// bounds of every bounded draw, precomputed once per heap geometry (see
+	// refreshPlan) so the batched hot loop is pure splitmix64 arithmetic
+	// plus flat lut reads, with no per-draw modulus setup.
+	plan drawPlan
 	// FaultLatencies collects per-fault synchronous latencies (ns) during
 	// population, for the tail-latency analysis of Table 5.
 	FaultLatencies []float64
@@ -553,6 +560,44 @@ func (inst *Instance) buildSegments(scale float64) {
 	inst.coldThresh = a.StackFrac + a.FringeFrac + a.ColdFrac
 	inst.hasStack = inst.StackBytes > 0
 	inst.hasFringe = inst.fringe.total > 0
+	inst.refreshPlan()
+}
+
+// drawPlan is the compiled form of the draw stream: for each window Next
+// draws from, the splitmix64 rejection bound Uint64n would recompute per
+// draw (math.MaxUint64 - math.MaxUint64%n). Draw semantics are untouched —
+// the same raw 64-bit values are accepted, rejected and reduced — so the
+// batched stream is bit-identical to repeated Next calls.
+type drawPlan struct {
+	stackBound  uint64
+	fringeBound uint64
+	heapBound   uint64
+	hotBound    uint64
+}
+
+// refreshPlan recompiles the draw plan and (re)builds the segment offset
+// luts eagerly. Called whenever the heap geometry changes: buildSegments at
+// instantiate time, and Extend when measurement-time inserts grow the heap.
+func (inst *Instance) refreshPlan() {
+	inst.plan.stackBound = rejectBound(inst.StackBytes)
+	inst.plan.fringeBound = rejectBound(inst.fringe.total)
+	inst.plan.heapBound = rejectBound(inst.heap.total)
+	inst.plan.hotBound = rejectBound(inst.hotBytes)
+	if inst.heap.total > 0 && inst.heap.lut == nil {
+		inst.heap.buildLut()
+	}
+	if inst.fringe.total > 0 && inst.fringe.lut == nil {
+		inst.fringe.buildLut()
+	}
+}
+
+// rejectBound returns the smallest raw Uint64 value Uint64n(n) would reject
+// (0 for an empty window, which is never drawn from).
+func rejectBound(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return math.MaxUint64 - math.MaxUint64%n
 }
 
 // HeapBytes returns the total allocated heap bytes.
@@ -579,6 +624,46 @@ func (inst *Instance) Next() (uint64, bool) {
 	}
 }
 
+// NextBatch fills buf with the next len(buf) references of the stream and
+// returns the count drawn. It consumes exactly the raw splitmix64 values
+// len(buf) Next calls would consume, in the same order with the same
+// accept/reject decisions, so interleaving NextBatch calls of any sizes
+// reproduces Next's stream bit-for-bit (pinned by TestNextBatchDeterminism).
+// The per-draw work is inlined splitmix64 plus a precompiled rejection
+// bound and the flat segment-offset lut — no per-draw bound arithmetic.
+func (inst *Instance) NextBatch(buf []stream.Access) int {
+	rng := inst.rng
+	for i := range buf {
+		// rng.Bool(writeFrac) and rng.Float64(), spelled out so the
+		// compiler keeps the whole draw inline.
+		write := float64(rng.Uint64()>>11)/(1<<53) < inst.writeFrac
+		r := float64(rng.Uint64()>>11) / (1 << 53)
+		var va uint64
+		switch {
+		case r < inst.stackThresh && inst.hasStack:
+			va = inst.StackVA + draw(rng, inst.StackBytes, inst.plan.stackBound)
+		case r < inst.fringeThresh && inst.hasFringe:
+			va = inst.fringe.at(draw(rng, inst.fringe.total, inst.plan.fringeBound))
+		case r < inst.coldThresh:
+			va = inst.heap.at(draw(rng, inst.heap.total, inst.plan.heapBound))
+		default:
+			va = inst.heap.at(draw(rng, inst.hotBytes, inst.plan.hotBound))
+		}
+		buf[i] = stream.Access{VA: va, Write: write}
+	}
+	return len(buf)
+}
+
+// draw is Uint64n(n) with the rejection bound hoisted: accept the first raw
+// value below bound (identical accept/reject sequence) and reduce mod n.
+func draw(rng *xrand.Rand, n, bound uint64) uint64 {
+	v := rng.Uint64()
+	for v >= bound {
+		v = rng.Uint64()
+	}
+	return v % n
+}
+
 func scaleBytes(b uint64, scale float64) uint64 {
 	return units.AlignUp(uint64(float64(b)*scale), units.Page4K)
 }
@@ -603,5 +688,6 @@ func (inst *Instance) Extend(policy fault.Policy, bytes uint64) (float64, error)
 		stall += ns
 	}
 	inst.heap.add(va, bytes)
+	inst.refreshPlan()
 	return stall, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/kernel"
+	"repro/internal/stream"
 	"repro/internal/units"
 	"repro/internal/zerofill"
 )
@@ -304,5 +305,41 @@ func TestWriteFractionRoughlyHonored(t *testing.T) {
 	want := inst.Spec.Access.WriteFrac
 	if frac < want-0.05 || frac > want+0.05 {
 		t.Errorf("write fraction = %v, want ≈%v", frac, want)
+	}
+}
+
+// TestNextBatchDeterminism pins the batched draw contract: NextBatch must
+// reproduce the exact reference stream Next produces, for any sequence of
+// batch sizes. Two instances of the same (workload, seed) are advanced in
+// lockstep — one scalar, one through NextBatch with deliberately ragged
+// batch sizes — and every (VA, write) pair must match positionally, so the
+// batched pipeline cannot drift from the scalar stream at batch-size
+// boundaries (accept/reject loops inside a draw straddle them).
+func TestNextBatchDeterminism(t *testing.T) {
+	for _, name := range []string{"GUPS", "Redis", "SVM"} {
+		t.Run(name, func(t *testing.T) {
+			scalar, _ := instantiate(t, name, 2, thp)
+			batched, _ := instantiate(t, name, 2, thp)
+
+			// Ragged sizes: primes and powers, including 1, so draws land
+			// on every alignment relative to the batch boundary.
+			sizes := []int{1, 3, 17, 256, 7, 64, 1000, 5, 129, 2}
+			buf := make([]stream.Access, 1000)
+			drawn := 0
+			for _, n := range sizes {
+				got := batched.NextBatch(buf[:n])
+				if got != n {
+					t.Fatalf("NextBatch(%d) = %d", n, got)
+				}
+				for i := 0; i < n; i++ {
+					va, write := scalar.Next()
+					if buf[i].VA != va || buf[i].Write != write {
+						t.Fatalf("draw %d: batch (%#x, %v) != scalar (%#x, %v)",
+							drawn+i, buf[i].VA, buf[i].Write, va, write)
+					}
+				}
+				drawn += n
+			}
+		})
 	}
 }
