@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench benchcheck benchjson chaos fuzz lint obs verify clean
+.PHONY: all build vet test race bench benchcheck benchjson chaos fuzz lint obs profile verify clean
 
 all: build
 
@@ -67,6 +67,17 @@ lint:
 	  echo "tridentlint negative gate: exit $$rc on seeded violations, want 1" >&2; \
 	  exit 1; \
 	fi
+
+# Profiling entry point: one BenchmarkFigure9 iteration with CPU and heap
+# profiles into report/profile/ (gitignored), so the next perf PR starts
+# from a recorded profile instead of re-deriving one. Inspect with
+# `go tool pprof report/profile/fig9.cpu.pb.gz`.
+profile:
+	@mkdir -p report/profile
+	$(GO) test -run '^$$' -bench '^BenchmarkFigure9$$' -benchtime 1x -benchmem \
+	  -cpuprofile report/profile/fig9.cpu.pb.gz \
+	  -memprofile report/profile/fig9.mem.pb.gz . \
+	  | tee report/profile/fig9.bench.txt
 
 # Observability gate: trace a small experiment and validate the trace
 # (parse, monotonic timestamps, balanced spans) plus the time series.

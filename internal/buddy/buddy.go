@@ -132,6 +132,40 @@ func (a *Allocator) setFreeOrder(pfn uint64, v int8) {
 	c[pfn&(foChunkSize-1)] = v
 }
 
+// Reset returns the allocator to its post-New state — all memory free,
+// tiled with maxOrder chunks — while retaining the allocated backing:
+// materialized freeOrder chunks are rewritten to the initial tiling
+// pattern (reads through them are then identical to reads through the nil
+// chunks New leaves), the free bitmaps are cleared and re-seeded, and the
+// per-run FailAlloc hook is dropped so a pooled allocator cannot carry a
+// stale chaos injector into its next run. The caller must Reset the
+// underlying phys.Memory alongside (the kernel's Reset does) to keep the
+// two views consistent.
+func (a *Allocator) Reset() {
+	align := uint64(1) << uint(a.maxOrder)
+	for ci, c := range a.freeOrder {
+		if c == nil {
+			continue
+		}
+		clear(c)
+		base := uint64(ci) << foChunkBits
+		for p := (base + align - 1) &^ (align - 1); p < base+foChunkSize && p < a.mem.Frames(); p += align {
+			c[p-base] = int8(a.maxOrder) + 1
+		}
+	}
+	for o := range a.free {
+		clear(a.free[o].words)
+		a.free[o].cursor = 0
+		a.counts[o] = 0
+	}
+	for pfn := uint64(0); pfn < a.mem.Frames(); pfn += align {
+		idx := pfn >> uint(a.maxOrder)
+		a.free[a.maxOrder].words[idx>>6] |= 1 << (idx & 63)
+		a.counts[a.maxOrder]++
+	}
+	a.FailAlloc = nil
+}
+
 // MaxOrder returns the largest order the free lists track.
 func (a *Allocator) MaxOrder() int { return a.maxOrder }
 

@@ -22,7 +22,6 @@ import (
 
 	"repro/internal/compact"
 	"repro/internal/kernel"
-	"repro/internal/pagetable"
 	"repro/internal/perfmodel"
 	"repro/internal/promote"
 	"repro/internal/units"
@@ -64,8 +63,6 @@ type Daemon struct {
 	// bloat remembers populated bytes at promotion time per huge page, for
 	// recovery decisions.
 	bloat map[bloatKey]uint64
-	// mapBuf is the collapse scratch buffer reused across promotions.
-	mapBuf []pagetable.Mapping
 }
 
 type bloatKey struct {
@@ -153,7 +150,7 @@ func (d *Daemon) promote2M(t *kernel.Task, va uint64) error {
 			return nil
 		}
 	}
-	populated, ns, err := promote.Collapse(d.K, t, va, units.Size2M, pfn, false, &d.mapBuf)
+	populated, ns, err := promote.Collapse(d.K, t, va, units.Size2M, pfn, false)
 	if err != nil {
 		return err
 	}

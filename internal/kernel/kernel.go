@@ -60,6 +60,11 @@ type Kernel struct {
 	// cheap enough to keep always-on; the observability layer samples them
 	// as per-batch deltas.
 	Ops OpStats
+
+	// asPool holds address spaces harvested (and Reset) by Kernel.Reset;
+	// NewTask reuses them so a pooled kernel's next run populates into warm
+	// page-table node arenas instead of re-allocating them.
+	asPool []*vmm.AddressSpace
 }
 
 // OpStats counts the kernel's primitive page-table operations.
@@ -84,12 +89,47 @@ func New(memBytes uint64, maxOrder int) *Kernel {
 	}
 }
 
-// NewTask creates a process with an empty address space.
+// NewTask creates a process with an empty address space (drawn from the
+// pool of Reset-harvested spaces when one is available — a reset space is
+// observably identical to a fresh one, see vmm.AddressSpace.Reset).
 func (k *Kernel) NewTask(name string) *Task {
 	k.nextID++
-	t := &Task{Name: name, AS: vmm.NewAddressSpace(k.nextID)}
+	var as *vmm.AddressSpace
+	if n := len(k.asPool); n > 0 {
+		as = k.asPool[n-1]
+		k.asPool[n-1] = nil
+		k.asPool = k.asPool[:n-1]
+		as.ID = k.nextID
+	} else {
+		as = vmm.NewAddressSpace(k.nextID)
+	}
+	t := &Task{Name: name, AS: as}
 	k.tasks[k.nextID] = t
 	return t
+}
+
+// Reset returns the kernel to its just-booted state — no tasks, all memory
+// free, zeroed op counters, no shootdown hook — while retaining allocated
+// bookkeeping for reuse: the phys bitsets and chunk arrays, the buddy free
+// lists, the kernelAllocs array, and each dead task's address space
+// (harvested into the pool NewTask draws from, with its page-table node
+// arenas intact). A reset kernel is observably identical to a freshly
+// booted one; the machine pool (internal/sim) relies on that equivalence
+// to reuse kernels across runs, and it is pinned by the run-twice
+// determinism tests. Tasks are harvested in creation order so pool order —
+// hence which warm arena a future task gets — is deterministic.
+func (k *Kernel) Reset() {
+	for _, t := range k.Tasks() {
+		t.AS.Reset()
+		k.asPool = append(k.asPool, t.AS)
+	}
+	clear(k.tasks)
+	k.nextID = 0
+	k.Shootdown = nil
+	clear(k.kernelAllocs)
+	k.Ops = OpStats{}
+	k.Mem.Reset()
+	k.Buddy.Reset()
 }
 
 // TaskByID returns the task whose address space has the given ID.
@@ -168,6 +208,21 @@ func (k *Kernel) UnmapKeep(t *Task, va uint64, size units.PageSize) (uint64, err
 	k.shootdown(t, va, size)
 	k.Ops.Unmaps++
 	return pfn, nil
+}
+
+// UnmapRangeKeep tears down every leaf mapping wholly inside [lo, hi) in
+// one page-table traversal, keeping the frames allocated. For each removed
+// mapping, in ascending VA order, it performs UnmapKeep's per-page kernel
+// bookkeeping (owner clear, shootdown, op count) and then invokes fn. The
+// observable effect is exactly a sequence of UnmapKeep calls over the
+// range's mappings in ascending VA order.
+func (k *Kernel) UnmapRangeKeep(t *Task, lo, hi uint64, fn func(pagetable.Mapping)) {
+	t.AS.PT.UnmapRange(lo, hi, func(m pagetable.Mapping) {
+		k.Mem.ClearOwner(m.PFN)
+		k.shootdown(t, m.VA, m.Size)
+		k.Ops.Unmaps++
+		fn(m)
+	})
 }
 
 // MovePage repoints the mapping at va from its current frames to newPFN

@@ -35,6 +35,7 @@ func TestBadFixtureFindings(t *testing.T) {
 		{"wallclock", "internal/kernel/kernel.go", "time.Sleep in simulated-world package internal/kernel"},
 		{"layering", "internal/obs/obs.go", "internal/obs must not import internal/sim"},
 		{"memokey", "internal/runner/runner.go", `MemoKeyExclusions entry "Obs" matches no exported sim.Config field`},
+		{"memokey", "internal/runner/runner.go", "sim.Config.Shape is fingerprinted by cacheKey AND listed in MemoKeyExclusions"},
 		{"layering", "internal/sim/sim.go", "internal/sim must not import internal/runner"},
 		{"memokey", "internal/sim/sim.go", "sim.Config.Extra is neither fingerprinted"},
 		{"wallclock", "internal/sim/sim.go", "time.Now in simulated-world package internal/sim"},

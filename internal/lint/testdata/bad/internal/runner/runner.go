@@ -1,11 +1,13 @@
 // Package runner carries a memo key that has drifted from sim.Config:
-// Config.Extra is neither keyed nor excluded, and the exclusion list names
-// a field ("Obs") that no longer exists.
+// Config.Extra is neither keyed nor excluded, Config.Shape is both keyed
+// and excluded, and the exclusion list names a field ("Obs") that no
+// longer exists.
 package runner
 
 type cacheKey struct {
 	workload int
 	seed     uint64
+	shape    int
 }
 
 var _ = cacheKey{}
@@ -13,7 +15,8 @@ var _ = cacheKey{}
 // MemoKeyExclusions has a stale entry: bad/internal/sim.Config has no Obs
 // field.
 var MemoKeyExclusions = map[string]string{
-	"Obs": "stale entry left behind after a rename",
+	"Obs":   "stale entry left behind after a rename",
+	"Shape": "loop-shape only — but the key fingerprints it too, so one side must go",
 }
 
 // Touch exists so the fixture sim package has something to import.

@@ -13,11 +13,13 @@ import (
 
 // Config mirrors the real sim.Config shape. Extra is covered by neither
 // runner.cacheKey nor runner.MemoKeyExclusions — the memokey check must
-// flag it.
+// flag it. Shape is covered by BOTH — a loop-shape knob that was excluded
+// and later fingerprinted anyway — which the check must also flag.
 type Config struct {
 	Workload int
 	Seed     uint64
 	Extra    bool
+	Shape    int
 }
 
 var _ = runner.Touch // layering: the simulated world must not import the engine above it

@@ -80,7 +80,8 @@ func (m *MMU) Translate(pt *pagetable.Table, va uint64, write bool) bool {
 	if lvl, size, ok := m.TLB.Probe(va); ok {
 		return m.hitNative(pt, va, size, lvl)
 	}
-	return m.missNative(pt, va, write)
+	_, ok := m.missNative(pt, va, write)
+	return ok
 }
 
 // translateL1Missed is Translate for a reference already proven (by
@@ -88,8 +89,19 @@ func (m *MMU) Translate(pt *pagetable.Table, va uint64, write bool) bool {
 // skipped L1 probes are stateless misses, so the outcome and every state
 // transition match Translate exactly.
 func (m *MMU) translateL1Missed(pt *pagetable.Table, va uint64, write bool) bool {
+	_, ok := m.resolveL1Missed(pt, va, write)
+	return ok
+}
+
+// resolveL1Missed is translateL1Missed reporting the page size the
+// reference resolved at. The run-coalesced pipeline needs the size to
+// bulk-charge the rest of the run: resolving the leading reference leaves
+// its page's tag MRU in the L1 of that size (ProbeL2's insertMissed and the
+// walk's AccessMissedAll both install at MRU), so every remaining
+// same-page reference is a guaranteed L1 hit at exactly that size.
+func (m *MMU) resolveL1Missed(pt *pagetable.Table, va uint64, write bool) (units.PageSize, bool) {
 	if size, ok := m.TLB.ProbeL2(va); ok {
-		return m.hitNative(pt, va, size, tlb.HitL2)
+		return size, m.hitNative(pt, va, size, tlb.HitL2)
 	}
 	return m.missNative(pt, va, write)
 }
@@ -108,12 +120,17 @@ func (m *MMU) hitNative(pt *pagetable.Table, va uint64, size units.PageSize, lvl
 }
 
 // missNative resolves a native reference that missed the whole TLB probe:
-// page-table lookup, walk accounting, entry installation — or a fault.
-func (m *MMU) missNative(pt *pagetable.Table, va uint64, write bool) bool {
-	mapping, ok := pt.Lookup(va)
+// page-table lookup, walk accounting, entry installation — or a fault. It
+// reports the mapped page size so run-coalesced callers can bulk-charge the
+// rest of the reference's run at it.
+func (m *MMU) missNative(pt *pagetable.Table, va uint64, write bool) (units.PageSize, bool) {
+	// One walk resolves the mapping AND sets the accessed (and dirty) bits,
+	// exactly as the hardware walker does — a separate Lookup would descend
+	// to the same leaf twice.
+	_, mapping, ok := pt.Translate(va, write)
 	if !ok {
 		m.Faults++
-		return false
+		return 0, false
 	}
 	size := mapping.Size
 	st := &m.BySize[size]
@@ -123,9 +140,7 @@ func (m *MMU) missNative(pt *pagetable.Table, va uint64, write bool) bool {
 	m.TLB.AccessMissedAll(va, size)
 	st.Walks++
 	st.WalkMemAccesses += uint64(m.PWC.WalkAccesses(va, size))
-	// The hardware walker sets the accessed (and dirty) bits.
-	pt.Translate(va, write)
-	return true
+	return size, true
 }
 
 // shadowCheckNative verifies a native fast-path hit against the page table.
@@ -168,14 +183,23 @@ func (m *MMU) TranslateNested(gpt, hpt *pagetable.Table, va uint64, write bool) 
 	if lvl, eff, ok := m.TLB.Probe(va); ok {
 		return m.hitNested(gpt, hpt, va, eff, lvl)
 	}
-	return m.missNested(gpt, hpt, va, write)
+	_, ok := m.missNested(gpt, hpt, va, write)
+	return ok
 }
 
 // translateNestedL1Missed is TranslateNested with the L1 probes skipped,
 // for references tlb.SweepL1 already proved miss every L1.
 func (m *MMU) translateNestedL1Missed(gpt, hpt *pagetable.Table, va uint64, write bool) bool {
+	_, ok := m.resolveNestedL1Missed(gpt, hpt, va, write)
+	return ok
+}
+
+// resolveNestedL1Missed is resolveL1Missed for the nested path: the
+// reported size is the effective (combined gVA→hPA) page size the TLB entry
+// was installed at, which is what the rest of the run hits in the L1.
+func (m *MMU) resolveNestedL1Missed(gpt, hpt *pagetable.Table, va uint64, write bool) (units.PageSize, bool) {
 	if eff, ok := m.TLB.ProbeL2(va); ok {
-		return m.hitNested(gpt, hpt, va, eff, tlb.HitL2)
+		return eff, m.hitNested(gpt, hpt, va, eff, tlb.HitL2)
 	}
 	return m.missNested(gpt, hpt, va, write)
 }
@@ -196,15 +220,18 @@ func (m *MMU) hitNested(gpt, hpt *pagetable.Table, va uint64, eff units.PageSize
 }
 
 // missNested resolves a nested reference that missed the whole TLB probe:
-// the 2D walk — or a guest fault.
-func (m *MMU) missNested(gpt, hpt *pagetable.Table, va uint64, write bool) bool {
-	gm, ok := gpt.Lookup(va)
+// the 2D walk — or a guest fault. It reports the effective page size for
+// run-coalesced callers.
+func (m *MMU) missNested(gpt, hpt *pagetable.Table, va uint64, write bool) (units.PageSize, bool) {
+	// As in missNative, each dimension's walk resolves its mapping and sets
+	// its accessed/dirty bits in one descent.
+	_, gm, ok := gpt.Translate(va, write)
 	if !ok {
 		m.Faults++
-		return false
+		return 0, false
 	}
 	gpa := units.FrameAddr(gm.PFN) + (va - gm.VA)
-	hm, ok := hpt.Lookup(gpa)
+	_, hm, ok := hpt.Translate(gpa, write)
 	if !ok {
 		panic("mmu: guest physical address not backed by host mapping")
 	}
@@ -220,9 +247,7 @@ func (m *MMU) missNested(gpt, hpt *pagetable.Table, va uint64, write bool) bool 
 	g := m.PWC.WalkAccesses(va, gm.Size)
 	h := m.HostPWC.WalkAccesses(gpa, hm.Size)
 	st.WalkMemAccesses += uint64(g + (g+1)*h)
-	gpt.Translate(va, write)
-	hpt.Translate(gpa, write)
-	return true
+	return eff, true
 }
 
 // TranslateBatch translates a batch of references in stream order and
@@ -285,6 +310,76 @@ func (m *MMU) TranslateBatch(gpt, hpt *pagetable.Table, batch []stream.Access) i
 		}
 		if !ok {
 			return done
+		}
+		done++
+	}
+	return done
+}
+
+// TranslateRuns is TranslateBatch over page runs: one probe or walk per
+// run, counters weighted by Run.Len. It returns how many runs it completed;
+// a short return means runs[done]'s leading reference faulted (Faults has
+// been charged, exactly as Translate would). The caller services the fault
+// and re-enters with runs[done:]; a skipped reference is expressed by
+// decrementing runs[done].Len (the remainder of the run re-coalesces in
+// place, same page), dropping the run once Len reaches zero.
+//
+// Byte-identity with the expanded per-reference loop rests on two facts
+// (DESIGN.md §5c): (1) only a run's leading reference can fault — the
+// leading reference's walk or fault handler maps the page, and the page
+// cannot become unmapped mid-run because nothing between the references of
+// one run unmaps anything; (2) after the leading reference resolves at size
+// s, its page's tag is MRU in the L1 of size s (an L1 hit promotes it, an
+// L2 hit or walk installs it at MRU), so each remaining reference is an MRU
+// fast-path L1 hit whose only effect is a counter increment — bulk-applied
+// here via tlb.BulkL1Hits and a weighted BySize add.
+func (m *MMU) TranslateRuns(gpt, hpt *pagetable.Table, runs []stream.Run) int {
+	if cap(m.sweepSizes) < len(runs) {
+		m.sweepSizes = make([]uint8, len(runs))
+	}
+	sizes := m.sweepSizes[:len(runs)]
+	done := 0
+	for done < len(runs) {
+		n := m.TLB.SweepL1Runs(runs[done:], sizes[done:])
+		if n > 0 {
+			if m.ShadowCheck {
+				// One check per run: every reference of a run shares the
+				// page, and the check is a pure read of the page tables, so
+				// checking the leading reference covers the run.
+				for k := done; k < done+n; k++ {
+					s := units.PageSize(sizes[k])
+					if hpt != nil {
+						m.shadowCheckNested(gpt, hpt, runs[k].VA, s)
+					} else {
+						m.shadowCheckNative(gpt, runs[k].VA, s)
+					}
+				}
+			}
+			for k := done; k < done+n; k++ {
+				m.BySize[sizes[k]].Accesses += uint64(runs[k].Len)
+			}
+			done += n
+			if done == len(runs) {
+				break
+			}
+		}
+		// runs[done]'s leading reference missed every L1: resolve it through
+		// the scalar L2/walk path, then bulk-charge the run's remaining
+		// references as the guaranteed MRU L1 hits they are.
+		rn := runs[done]
+		var size units.PageSize
+		var ok bool
+		if hpt != nil {
+			size, ok = m.resolveNestedL1Missed(gpt, hpt, rn.VA, rn.Write)
+		} else {
+			size, ok = m.resolveL1Missed(gpt, rn.VA, rn.Write)
+		}
+		if !ok {
+			return done
+		}
+		if rest := uint64(rn.Len) - 1; rest > 0 {
+			m.TLB.BulkL1Hits(size, rest)
+			m.BySize[size].Accesses += rest
 		}
 		done++
 	}

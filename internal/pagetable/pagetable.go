@@ -130,6 +130,41 @@ func New() *Table {
 	return t
 }
 
+// Reset empties the table in place, reclaiming every allocated node into
+// the pools, so the next population's node allocations are all pool hits.
+// A reset table is observably identical to a fresh one: the pools only
+// hand out all-zero nodes (reclaim restores that state), and every other
+// field returns to its New value. The machine pool (internal/sim) relies
+// on this to reuse kernels across runs without re-allocating their
+// page-table arenas.
+func (t *Table) Reset() {
+	t.reclaim(t.root)
+	t.root = t.newNode(4)
+	t.mappedBytes = [units.NumPageSizes]uint64{}
+	t.mappedPages = [units.NumPageSizes]uint64{}
+	t.invalidate()
+}
+
+// reclaim zeroes n, detaches and reclaims its subtree, and returns n to
+// its pool — re-establishing newNode's all-zero invariant.
+func (t *Table) reclaim(n *node) {
+	if n.live != 0 {
+		n.entries = [512]uint64{}
+		n.live = 0
+	}
+	if n.children != nil {
+		for i, c := range n.children {
+			if c != nil {
+				t.reclaim(c)
+				n.children[i] = nil
+			}
+		}
+		t.poolInner = append(t.poolInner, n)
+	} else {
+		t.poolLeaf = append(t.poolLeaf, n)
+	}
+}
+
 // leafLevel returns the level at which a page of the given size terminates:
 // 3 for 1GB (PDPTE), 2 for 2MB (PDE), 1 for 4KB (PTE).
 func leafLevel(size units.PageSize) int {
@@ -191,10 +226,25 @@ func (t *Table) Map(va, pfn uint64, size units.PageSize) error {
 	if err := checkVA(va, size); err != nil {
 		return err
 	}
-	t.invalidate()
+	// Map preserves the walk cache: it never modifies a present entry
+	// (overlap is rejected before any mutation) and never frees a node, so
+	// every cached pointer stays coherent. Better, the installed leaf seeds
+	// the cache below — the fault path's map-then-retranslate pattern hits
+	// it without a fresh descent.
 	target := leafLevel(size)
+	var pd *node
 	n := t.root
-	for level := 4; level > target; level-- {
+	level := 4
+	if target <= 2 {
+		if wc := &t.wc; wc.pd != nil && va-wc.pdLo < units.Page1G {
+			// A valid cached PD was reached through present non-PS entries
+			// at levels 4–3; Map never mutates a present entry and Unmap
+			// invalidates the cache, so those two levels need no revisit —
+			// they would neither create nodes nor detect overlap.
+			n, level = wc.pd, 2
+		}
+	}
+	for ; level > target; level-- {
 		i := index(va, level)
 		if n.entries[i]&flagPresent == 0 {
 			child := t.newNode(level - 1)
@@ -203,6 +253,9 @@ func (t *Table) Map(va, pfn uint64, size units.PageSize) error {
 			n.live++
 		} else if n.entries[i]&flagPS != 0 {
 			return ErrOverlap // covered by a larger leaf
+		}
+		if level == 2 {
+			pd = n
 		}
 		n = n.children[i]
 	}
@@ -218,6 +271,14 @@ func (t *Table) Map(va, pfn uint64, size units.PageSize) error {
 	n.live++
 	t.mappedBytes[size] += size.Bytes()
 	t.mappedPages[size]++
+	t.wc.leaf, t.wc.leafIdx = n, i
+	t.wc.leafLo, t.wc.leafHi, t.wc.leafSize = va, va+size.Bytes(), size
+	switch target {
+	case 1: // pd was captured on the way down
+		t.wc.pd, t.wc.pdLo = pd, units.Align(va, units.Page1G)
+	case 2: // n itself is the PD holding the new 2MB leaf
+		t.wc.pd, t.wc.pdLo = n, units.Align(va, units.Page1G)
+	}
 	return nil
 }
 
@@ -303,6 +364,76 @@ func (t *Table) Unmap(va uint64, size units.PageSize) (uint64, error) {
 		n = parent
 	}
 	return pfn, nil
+}
+
+// UnmapRange removes every leaf mapping lying wholly inside [lo, hi) in a
+// single subtree traversal, invoking fn for each removed mapping in
+// ascending VA order, immediately after its entry is cleared. fn must not
+// touch the table. Counter updates, the node-reclaim sequence (and with it
+// the node pools' contents) and the final structure are exactly those of
+// per-page Unmap calls over the same mappings in ascending VA order — the
+// one traversal merely replaces their per-page root descents. Leaves only
+// partially inside the range (i.e. larger than it) are left in place.
+func (t *Table) UnmapRange(lo, hi uint64, fn func(Mapping)) {
+	if hi > MaxVA {
+		hi = MaxVA
+	}
+	if lo >= hi {
+		return
+	}
+	t.invalidate()
+	t.unmapNode(t.root, 4, 0, lo, hi, fn)
+}
+
+func (t *Table) unmapNode(n *node, level int, base, lo, hi uint64, fn func(Mapping)) {
+	span := uint64(1) << uint(12+9*(level-1)) // bytes covered per entry
+	first, last := 0, 511
+	if base < lo {
+		first = int((lo - base) / span)
+	}
+	if base+512*span > hi {
+		last = int((hi - base - 1) / span)
+	}
+	for i := first; i <= last; i++ {
+		e := n.entries[i]
+		if e&flagPresent == 0 {
+			continue
+		}
+		entryBase := base + uint64(i)*span
+		if level == 1 || e&flagPS != 0 {
+			if entryBase < lo || entryBase+span > hi {
+				continue // a larger leaf sticking out of the range
+			}
+			size := sizeOfLevel(level)
+			n.entries[i] = 0
+			n.live--
+			t.mappedBytes[size] -= size.Bytes()
+			t.mappedPages[size]--
+			fn(Mapping{
+				VA:       entryBase,
+				PFN:      e >> pfnShift,
+				Size:     size,
+				Accessed: e&flagAccessed != 0,
+				Dirty:    e&flagDirty != 0,
+			})
+			continue
+		}
+		child := n.children[i]
+		t.unmapNode(child, level-1, entryBase, lo, hi, fn)
+		// Reclaim an emptied table exactly where sequential Unmaps would:
+		// right after the removal that emptied it, before any later VA is
+		// touched, child-before-parent.
+		if child.live == 0 {
+			n.entries[i] = 0
+			n.children[i] = nil
+			n.live--
+			if child.children != nil {
+				t.poolInner = append(t.poolInner, child)
+			} else {
+				t.poolLeaf = append(t.poolLeaf, child)
+			}
+		}
+	}
 }
 
 // Lookup returns the leaf mapping covering va, if any. It does not set

@@ -100,6 +100,31 @@ func NewMemory(bytes uint64) *Memory {
 	return m
 }
 
+// Reset returns the bookkeeping to its post-NewMemory state — all frames
+// free and movable, no owners, no zeroed regions — while retaining the
+// allocated backing (bitsets, materialized rmap and owner chunks, the
+// ownerFree stack's capacity). A reset Memory is observably identical to a
+// fresh one: rmapAt reads a zeroed chunk exactly as it reads a nil one,
+// and stale Owner values are unreachable because every read goes through
+// the rmap (now all-zero) and every SetOwner fully overwrites its slot.
+// The machine pool (internal/sim) uses this to reuse kernels across runs.
+func (m *Memory) Reset() {
+	for i := range m.regions {
+		m.regions[i] = RegionStats{Free: units.FramesPerRegion}
+	}
+	clear(m.allocated)
+	clear(m.unmovable)
+	for _, c := range m.rmap {
+		if c != nil {
+			clear(c)
+		}
+	}
+	m.nextOwner = 1
+	m.ownerFree = m.ownerFree[:0]
+	m.allocFrames = 0
+	m.unmovableFrames = 0
+}
+
 // Bytes returns the total physical memory size.
 func (m *Memory) Bytes() uint64 { return m.frames * units.Page4K }
 

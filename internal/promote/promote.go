@@ -22,8 +22,10 @@ package promote
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
+	"repro/internal/buddy"
 	"repro/internal/compact"
 	"repro/internal/kernel"
 	"repro/internal/pagetable"
@@ -130,10 +132,9 @@ type Daemon struct {
 	// one fails (Linux's deferred-compaction behaviour: don't hammer an
 	// allocation that just proved expensive and hopeless).
 	defer1G bool
-	// spans and mapBuf are scratch buffers reused across scans so the hot
-	// promotion path does not regrow them on every pass.
-	spans  []uint64
-	mapBuf []pagetable.Mapping
+	// spans is a scratch buffer reused across scans so the hot promotion
+	// path does not regrow it on every pass.
+	spans []uint64
 }
 
 // New creates a promotion daemon. zero may be nil (no pre-zeroed targets).
@@ -220,24 +221,25 @@ func (d *Daemon) processSpan(t *kernel.Task, va uint64) error {
 	return nil
 }
 
-// rangePopulation sums the populated bytes in [va, va+size) and reports
-// whether any mapping of exactly `size` or larger already covers it.
-func rangePopulation(t *kernel.Task, va uint64, size units.PageSize) (populated uint64, alreadyHuge bool) {
+// rangeProbe reports whether [va, va+size.Bytes()) holds any mapping at all,
+// and whether a mapping of `size` or larger already covers it. Only the first
+// mapping in the range is examined, which is exact: va is size-aligned, so a
+// mapping of `size` or larger intersecting the range must start at or before
+// va and cover all of it — it is necessarily the first mapping enumerated,
+// and any smaller first mapping proves no covering huge mapping exists.
+func rangeProbe(t *kernel.Task, va uint64, size units.PageSize) (populated, alreadyHuge bool) {
 	t.AS.PT.ForEach(va, va+size.Bytes(), func(m pagetable.Mapping) bool {
-		if m.Size >= size {
-			alreadyHuge = true
-			return false
-		}
-		populated += m.Size.Bytes()
-		return true
+		populated = true
+		alreadyHuge = m.Size >= size
+		return false
 	})
 	return populated, alreadyHuge
 }
 
 func (d *Daemon) try1G(t *kernel.Task, va uint64) (bool, error) {
 	d.S.Nanoseconds += scanNsPer1GSpan - scanNsPer2MSpan
-	populated, alreadyHuge := rangePopulation(t, va, units.Size1G)
-	if alreadyHuge || populated == 0 {
+	populated, alreadyHuge := rangeProbe(t, va, units.Size1G)
+	if alreadyHuge || !populated {
 		// Nothing faulted yet: leave it to the fault handler (the paper's
 		// criticism of the promotion-only 1GB patch set [59] is precisely
 		// that it moves data even when the fault path could have mapped
@@ -256,13 +258,14 @@ func (d *Daemon) try1G(t *kernel.Task, va uint64) (bool, error) {
 		d.defer1G = true
 		return false, nil
 	}
-	// Move populated contents into the new chunk.
+	// Move populated contents into the new chunk. This enumeration also
+	// recovers the exact populated byte count rangeProbe no longer sums:
+	// nothing between the probe and here can change the range's mappings.
 	var moveNs float64
-	var copied uint64
+	var popBytes, copied uint64
 	var exchanged int
-	toFree := d.mapBuf[:0]
 	t.AS.PT.ForEach(va, va+units.Page1G, func(m pagetable.Mapping) bool {
-		toFree = append(toFree, m)
+		popBytes += m.Size.Bytes()
 		if m.Size == units.Size2M && d.Move != MoveCopy {
 			exchanged++
 			if d.OnExchange != nil {
@@ -275,7 +278,6 @@ func (d *Daemon) try1G(t *kernel.Task, va uint64) (bool, error) {
 		}
 		return true
 	})
-	d.mapBuf = toFree
 	switch d.Move {
 	case MovePvBatched:
 		// One hypercall carries up to 512 exchange requests (§6).
@@ -289,27 +291,25 @@ func (d *Daemon) try1G(t *kernel.Task, va uint64) (bool, error) {
 	moveNs += perfmodel.CopyNs(copied)
 	if !zeroed {
 		// Holes in the new 1GB page must be zeroed.
-		moveNs += perfmodel.ZeroNs(units.Page1G - populated)
+		moveNs += perfmodel.ZeroNs(units.Page1G - popBytes)
 	}
-	for _, m := range toFree {
-		old, err := d.K.UnmapKeep(t, m.VA, m.Size)
-		if err != nil {
-			return false, fmt.Errorf("promote: unmap of %v page at %#x during 1GB collapse at %#x: %w", m.Size, m.VA, va, err)
-		}
-		d.K.Buddy.Free(old, m.Size.Order())
+	runs := frameRuns{b: d.K.Buddy}
+	d.K.UnmapRangeKeep(t, va, va+units.Page1G, func(m pagetable.Mapping) {
+		runs.add(m.PFN, m.Size.Frames())
 		moveNs += perfmodel.PTEUpdateNs
-	}
+	})
+	runs.flush()
 	if err := d.K.MapSpecific(t, va, pfn, units.Size1G); err != nil {
 		return false, fmt.Errorf("promote: mapping collapsed 1GB page at %#x: %w", va, err)
 	}
 	d.S.Promoted[units.Size1G]++
 	d.S.BytesCopied += copied
 	d.S.PagesExchanged += uint64(exchanged)
-	d.S.BloatBytes += units.Page1G - populated
+	d.S.BloatBytes += units.Page1G - popBytes
 	d.S.Nanoseconds += moveNs
 	d.S.MoveNanoseconds += moveNs
 	if d.OnPromote != nil {
-		d.OnPromote(t, va, units.Size1G, populated)
+		d.OnPromote(t, va, units.Size1G, popBytes)
 	}
 	return true, nil
 }
@@ -345,8 +345,8 @@ func (d *Daemon) alloc1G() (pfn uint64, zeroed, ok bool) {
 }
 
 func (d *Daemon) try2M(t *kernel.Task, va uint64) (bool, error) {
-	populated, alreadyHuge := rangePopulation(t, va, units.Size2M)
-	if alreadyHuge || populated == 0 {
+	populated, alreadyHuge := rangeProbe(t, va, units.Size2M)
+	if alreadyHuge || !populated {
 		return false, nil
 	}
 	d.S.Attempts2M++
@@ -366,7 +366,7 @@ func (d *Daemon) try2M(t *kernel.Task, va uint64) (bool, error) {
 			return false, nil
 		}
 	}
-	gotPopulated, moveNs, err := Collapse(d.K, t, va, units.Size2M, pfn, false, &d.mapBuf)
+	gotPopulated, moveNs, err := Collapse(d.K, t, va, units.Size2M, pfn, false)
 	if err != nil {
 		return false, err
 	}
@@ -389,40 +389,75 @@ func (d *Daemon) try2M(t *kernel.Task, va uint64) (bool, error) {
 // (this package) and HawkEye's coverage-ordered promotion. A non-nil error
 // means the remap failed midway — the caller should stop the scan and
 // surface it rather than continue on an inconsistent address space.
-//
-// scratch, when non-nil, points at a caller-owned buffer that holds the
-// mappings gathered during the collapse; it is truncated before use and left
-// pointing at the (possibly regrown) buffer, so a daemon calling in a loop
-// pays for slice growth only once. Passing nil uses a local buffer.
-func Collapse(k *kernel.Kernel, t *kernel.Task, va uint64, size units.PageSize, pfn uint64, zeroed bool, scratch *[]pagetable.Mapping) (uint64, float64, error) {
+func Collapse(k *kernel.Kernel, t *kernel.Task, va uint64, size units.PageSize, pfn uint64, zeroed bool) (uint64, float64, error) {
+	// populated is summed up front because the copy/zero cost must enter
+	// moveNs before the per-page PTE-update terms: float addition is not
+	// associative, so folding this sum into the teardown pass below would
+	// perturb the modeled nanoseconds.
 	var populated uint64
-	var local []pagetable.Mapping
-	if scratch == nil {
-		scratch = &local
-	}
-	toFree := (*scratch)[:0]
 	t.AS.PT.ForEach(va, va+size.Bytes(), func(m pagetable.Mapping) bool {
-		toFree = append(toFree, m)
 		populated += m.Size.Bytes()
 		return true
 	})
-	*scratch = toFree
 	moveNs := perfmodel.CopyNs(populated)
 	if !zeroed {
 		moveNs += perfmodel.ZeroNs(size.Bytes() - populated)
 	}
-	for _, m := range toFree {
-		old, err := k.UnmapKeep(t, m.VA, m.Size)
-		if err != nil {
-			return 0, moveNs, fmt.Errorf("promote: unmap of %v page at %#x during %v collapse at %#x: %w", m.Size, m.VA, size, va, err)
-		}
-		k.Buddy.Free(old, m.Size.Order())
+	// Teardown and freeing are separable: unmapping touches the page table,
+	// owner records and TLBs, never the buddy allocator, so frees of the
+	// surrendered frames can lag the unmap loop. Physically contiguous
+	// frames — the common case, since demand faults allocate lowest-first —
+	// are then released as the few maximal aligned chunks covering each run
+	// instead of frame-by-frame. Buddy coalescing is confluent: the final
+	// allocator state is the maximal coalescing of the freed set against
+	// what was already free, whatever the order and granularity of the Free
+	// calls (two adjacent free buddies never persist unmerged), so the
+	// merged frees leave the allocator byte-identical while skipping the
+	// intermediate merge churn.
+	runs := frameRuns{b: k.Buddy}
+	k.UnmapRangeKeep(t, va, va+size.Bytes(), func(m pagetable.Mapping) {
+		runs.add(m.PFN, m.Size.Frames())
 		moveNs += perfmodel.PTEUpdateNs
-	}
+	})
+	runs.flush()
 	if err := k.MapSpecific(t, va, pfn, size); err != nil {
 		return 0, moveNs, fmt.Errorf("promote: mapping collapsed %v page at %#x: %w", size, va, err)
 	}
 	return populated, moveNs, nil
+}
+
+// frameRuns accumulates physically contiguous freed frames and releases each
+// maximal run to the buddy allocator as the few largest aligned chunks
+// covering it, instead of frame-by-frame. Buddy coalescing is confluent
+// (see Collapse), so the allocator ends up byte-identical either way.
+type frameRuns struct {
+	b      *buddy.Allocator
+	pfn    uint64
+	frames uint64
+}
+
+func (r *frameRuns) add(pfn, frames uint64) {
+	if r.frames > 0 && pfn == r.pfn+r.frames {
+		r.frames += frames
+		return
+	}
+	r.flush()
+	r.pfn, r.frames = pfn, frames
+}
+
+func (r *frameRuns) flush() {
+	for r.frames > 0 {
+		o := bits.Len64(r.frames) - 1
+		if tz := bits.TrailingZeros64(r.pfn); r.pfn != 0 && tz < o {
+			o = tz
+		}
+		if mo := r.b.MaxOrder(); o > mo {
+			o = mo
+		}
+		r.b.Free(r.pfn, o)
+		r.pfn += 1 << uint(o)
+		r.frames -= 1 << uint(o)
+	}
 }
 
 // totalNs is the daemon's own time plus its compactors' time, used for

@@ -366,7 +366,7 @@ func TestCheckpointCorruptFileIgnored(t *testing.T) {
 // hence Config carries exactly two more fields than cacheKey.
 func TestConfigFieldCountGuard(t *testing.T) {
 	const keyFields = 17
-	const excludedFields = 2 // Config.Obs, Config.ScalarTranslate — not identity
+	const excludedFields = 3 // Config.Obs, Config.ScalarTranslate, Config.RunCoalesce — not identity
 	if n := reflect.TypeOf(sim.Config{}).NumField(); n != keyFields+excludedFields {
 		t.Fatalf("sim.Config has %d fields, cacheKey covers %d (+%d excluded): extend runner.keyOf for the new field(s) or document the exclusion, then bump these constants", n, keyFields, excludedFields)
 	}

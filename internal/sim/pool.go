@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"sync"
+
+	"repro/internal/kernel"
+)
+
+// Machine pooling: kernel construction allocates megabytes of bookkeeping
+// (phys bitsets, buddy free lists, the kernelAllocs array) and population
+// grows megabytes more (page-table nodes, rmap/owner chunks), all of which
+// a grid run re-allocated for every job. Kernels are interchangeable across
+// runs of the same physical geometry — (memBytes, maxOrder) determines
+// every structure size — and kernel.Reset restores a used kernel to a
+// state observably identical to a freshly booted one (DESIGN.md §5c), so
+// finished runs park their kernel here and later runs of the same geometry
+// reuse it, arenas warm.
+//
+// Only kernels the runner constructed directly are pooled: the native
+// kernel and a virtualized run's host kernel. Guest kernels are built
+// inside virt.New with run-dependent sizing and interior wiring, so they
+// are left to the garbage collector.
+//
+// Release happens only on fully successful runs. A failed or cancelled run
+// abandons its kernel mid-state; Reset would likely still recover it, but
+// correctness of every future run that might reuse the kernel would then
+// rest on Reset being bulletproof against arbitrary partial states, which
+// is not a contract worth buying for the rare failure path.
+type machineKey struct {
+	memBytes uint64
+	maxOrder int
+}
+
+var (
+	machinePoolMu sync.Mutex
+	machinePool   = map[machineKey][]*kernel.Kernel{}
+)
+
+// acquireKernel returns a pooled kernel of the given geometry, or boots a
+// fresh one. Pooled kernels were Reset at release time.
+func acquireKernel(memBytes uint64, maxOrder int) *kernel.Kernel {
+	key := machineKey{memBytes, maxOrder}
+	machinePoolMu.Lock()
+	if s := machinePool[key]; len(s) > 0 {
+		k := s[len(s)-1]
+		s[len(s)-1] = nil
+		machinePool[key] = s[:len(s)-1]
+		machinePoolMu.Unlock()
+		return k
+	}
+	machinePoolMu.Unlock()
+	return kernel.New(memBytes, maxOrder)
+}
+
+// releaseKernel resets k and parks it for reuse. The pool is unbounded: it
+// holds at most one kernel per concurrently-running job (each job releases
+// before the next acquire it unblocks), so the worker pool's width bounds
+// it in practice.
+func releaseKernel(memBytes uint64, maxOrder int, k *kernel.Kernel) {
+	k.Reset()
+	key := machineKey{memBytes, maxOrder}
+	machinePoolMu.Lock()
+	machinePool[key] = append(machinePool[key], k)
+	machinePoolMu.Unlock()
+}

@@ -33,6 +33,19 @@ import (
 	"repro/internal/zerofill"
 )
 
+// RunCoalesceMode selects the translation loop shape (see
+// Config.RunCoalesce). The zero value is the run-coalesced pipeline so a
+// zero Config gets the fastest loop.
+type RunCoalesceMode uint8
+
+const (
+	// RunCoalesceOn translates per page run (NextRuns → TranslateRuns).
+	RunCoalesceOn RunCoalesceMode = iota
+	// RunCoalesceOff forces the per-reference batched pipeline
+	// (NextBatch → TranslateBatch).
+	RunCoalesceOff
+)
+
 // PolicyKind selects the memory-management configuration under test.
 type PolicyKind int
 
@@ -154,8 +167,17 @@ type Config struct {
 	// scalar reference for that test and for bisecting any future
 	// divergence. Like Obs, it cannot affect results and is therefore
 	// excluded from the runner package's memo-cache key
-	// (runner.MemoKeyExclusions).
+	// (runner.MemoKeyExclusions). It overrides RunCoalesce.
 	ScalarTranslate bool
+
+	// RunCoalesce selects between the run-coalesced translation pipeline
+	// (inst.NextRuns → mmu.TranslateRuns, the zero-value default) and the
+	// PR-6 batched pipeline (inst.NextBatch → mmu.TranslateBatch). Like
+	// ScalarTranslate this is a loop-shape knob, not a model parameter: the
+	// pipelines are byte-identical by construction (DESIGN.md §5c, pinned
+	// by TestRunScalarEquivalence), so it exists only for bisecting and as
+	// the equivalence test's second leg, and is excluded from the memo key.
+	RunCoalesce RunCoalesceMode
 
 	// Chaos configures deterministic fault injection (internal/chaos):
 	// seed-driven forced buddy-allocation failures, zero-pool exhaustion
@@ -307,6 +329,10 @@ type runner struct {
 	// batch is the reusable reference buffer of the batched translation
 	// pipeline (one allocation per run, filled by workload.NextBatch).
 	batch []stream.Access
+	// runs is the run-coalesced pipeline's reusable buffer; NextRuns
+	// returns at most one run per drawn reference, so batchAccesses
+	// capacity never reallocates.
+	runs []stream.Run
 }
 
 // Run executes one configuration and returns its measurements.
@@ -364,7 +390,22 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	r.finish()
+	r.releaseMachine()
 	return r.res, nil
+}
+
+// releaseMachine parks the run's pool-eligible kernel for reuse: the
+// native kernel, or the host kernel of a virtualized run (its guest was
+// built by virt.New and stays with the garbage collector). Called only
+// after finish() — the Result holds copies, never pointers into kernel
+// state, so the kernel can be reset and handed to another run.
+func (r *runner) releaseMachine() {
+	memBytes := r.cfg.MemGB * units.Page1G
+	if r.cfg.Virtualized {
+		releaseKernel(memBytes, maxOrderFor(r.cfg.HostPolicy), r.host)
+	} else {
+		releaseKernel(memBytes, maxOrderFor(r.cfg.Policy), r.k)
+	}
 }
 
 // phase brackets fn between balanced begin/end marks on the run's recorder
@@ -450,7 +491,7 @@ func (r *runner) buildMachine() error {
 	memBytes := cfg.MemGB * units.Page1G
 
 	if cfg.Virtualized {
-		r.host = kernel.New(memBytes, maxOrderFor(cfg.HostPolicy))
+		r.host = acquireKernel(memBytes, maxOrderFor(cfg.HostPolicy))
 		hostPolicy, err := r.buildPolicy(r.host, cfg.HostPolicy, false)
 		if err != nil {
 			return err
@@ -468,7 +509,7 @@ func (r *runner) buildMachine() error {
 			r.hostPromote = promote.NewTrident(r.host, zerofill.New(r.host))
 		}
 	} else {
-		r.k = kernel.New(memBytes, maxOrderFor(cfg.Policy))
+		r.k = acquireKernel(memBytes, maxOrderFor(cfg.Policy))
 		r.m = mmu.New(*cfg.TLB)
 	}
 
@@ -886,14 +927,19 @@ func (r *runner) accessBatch(n int) error {
 		}
 		return nil
 	}
+	coalesce := r.cfg.RunCoalesce == RunCoalesceOn
 	for i := 0; i < n; {
 		c := batchAccesses
 		if rem := n - i; rem < c {
 			c = rem
 		}
-		buf := r.batchBuf()[:c]
-		r.inst.NextBatch(buf)
-		r.translateBatch(buf)
+		if coalesce {
+			r.translateRuns(r.inst.NextRuns(r.runsBuf(), c))
+		} else {
+			buf := r.batchBuf()[:c]
+			r.inst.NextBatch(buf)
+			r.translateBatch(buf)
+		}
 		i += c
 		// Boundary work fires exactly where the scalar loop's
 		// (i+1)%batchAccesses == 0 check did: after each full batch, never
@@ -919,6 +965,14 @@ func (r *runner) batchBuf() []stream.Access {
 		r.batch = make([]stream.Access, batchAccesses)
 	}
 	return r.batch
+}
+
+// runsBuf returns the run's reusable page-run buffer.
+func (r *runner) runsBuf() []stream.Run {
+	if r.runs == nil {
+		r.runs = make([]stream.Run, 0, batchAccesses)
+	}
+	return r.runs
 }
 
 // translateBatch drives one drawn batch through mmu.TranslateBatch,
@@ -961,6 +1015,62 @@ func (r *runner) translateBatch(batch []stream.Access) float64 {
 		stall += res.LatencyNs
 		if attempts == 3 {
 			off++
+		}
+	}
+	return stall
+}
+
+// translateRuns is translateBatch for the run-coalesced pipeline. Fault
+// servicing keeps the scalar path's exact per-reference semantics: only a
+// run's leading reference can fault (its resolution maps the page for the
+// rest of the run), each faulting reference gets up to three
+// translate+Handle rounds, and skipping a reference — after a Handle error
+// or the third round — decrements the run's Len so the remainder
+// re-coalesces in place. The remainder keeps the leading reference's VA and
+// write flag, which is observably identical: every consumer of a reference
+// depends on it only through its page (fault policies align the VA to the
+// mapped size, TLB tags shift it down) and the dirty bit set by
+// pagetable.Translate is never read back (DESIGN.md §5c). After a skip the
+// attempt counter re-arms, so the next reference of a still-unmapped page
+// gets its own three rounds, exactly as the scalar loop would.
+func (r *runner) translateRuns(runs []stream.Run) float64 {
+	r.runs = runs[:0] // retain a grown buffer for the next batch
+	var stall float64
+	gpt := r.task.AS.PT
+	var hpt *pagetable.Table
+	if r.vm != nil {
+		hpt = r.vm.HostPT()
+	}
+	off := 0
+	attempts := 0
+	faultRun := -1
+	for off < len(runs) {
+		n := r.m.TranslateRuns(gpt, hpt, runs[off:])
+		off += n
+		if off == len(runs) {
+			break
+		}
+		// runs[off]'s leading reference faulted.
+		if off != faultRun {
+			faultRun, attempts = off, 0
+		}
+		attempts++
+		res, err := r.policy.Handle(r.task, runs[off].VA)
+		if err != nil {
+			// The address lies in a gap VMA page that cannot be mapped —
+			// should not happen; treat as a skipped access.
+			if runs[off].Len--; runs[off].Len == 0 {
+				off++
+			}
+			faultRun = -1
+			continue
+		}
+		stall += res.LatencyNs
+		if attempts == 3 {
+			if runs[off].Len--; runs[off].Len == 0 {
+				off++
+			}
+			faultRun = -1
 		}
 	}
 	return stall
@@ -1087,14 +1197,20 @@ func (r *runner) measure() error {
 			}
 		}
 	} else {
+		coalesce := r.cfg.RunCoalesce == RunCoalesceOn
 		for i := 0; i < r.cfg.Accesses; {
 			c := batchAccesses
 			if rem := r.cfg.Accesses - i; rem < c {
 				c = rem
 			}
-			buf := r.batchBuf()[:c]
-			r.inst.NextBatch(buf)
-			stall := r.translateBatch(buf)
+			var stall float64
+			if coalesce {
+				stall = r.translateRuns(r.inst.NextRuns(r.runsBuf(), c))
+			} else {
+				buf := r.batchBuf()[:c]
+				r.inst.NextBatch(buf)
+				stall = r.translateBatch(buf)
+			}
 			totalStall += stall
 			reqStall += stall
 			i += c

@@ -515,3 +515,125 @@ func TestBatchScalarEquivalence(t *testing.T) {
 		})
 	}
 }
+
+// TestRunScalarEquivalence pins the run-coalesced pipeline contract
+// (DESIGN.md §5c): a configuration run through the scalar loop
+// (ScalarTranslate), through the batched per-reference pipeline
+// (RunCoalesceOff), and through the run-coalesced NextRuns → SweepL1Runs →
+// walk-only-lead-misses pipeline (RunCoalesceOn, the default) must produce
+// a byte-identical Result and an identical per-batch time-series CSV —
+// with ShadowCheck cross-checking every TLB-derived size against the page
+// table, under ragged access counts that leave a short final batch. This
+// is what licenses the memo-key exclusion of RunCoalesce (internal/runner)
+// and every probe and counter increment the run pipeline bulk-applies.
+func TestRunScalarEquivalence(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"trident", func(c *Config) {
+			c.Policy = PolicyTrident
+		}},
+		{"hawkeye-fragmented", func(c *Config) {
+			c.Policy = PolicyHawkEye
+			c.Fragment = true
+		}},
+		{"trident-pv-virtualized", func(c *Config) {
+			c.Policy = PolicyTrident
+			c.Virtualized = true
+			c.HostPolicy = PolicyTrident
+			c.Pv = true
+			c.KhugepagedBudgetFrac = 0.10
+		}},
+	}
+	type mode struct {
+		name   string
+		mutate func(*Config)
+	}
+	modes := []mode{
+		{"scalar", func(c *Config) { c.ScalarTranslate = true }},
+		{"batched", func(c *Config) { c.RunCoalesce = RunCoalesceOff }},
+		{"runs", func(c *Config) { c.RunCoalesce = RunCoalesceOn }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			run := func(m mode) (*Result, []byte) {
+				cfg := testConfig("GUPS", PolicyTrident)
+				// Ragged: not a multiple of the 2000-access batch, so the
+				// final short batch takes the run pipeline too.
+				cfg.Accesses = 70_003
+				cfg.ShadowCheck = true
+				tc.mutate(&cfg)
+				m.mutate(&cfg)
+				series := filepath.Join(t.TempDir(), "series.csv")
+				ob := obs.NewObserver("", series, 1, false)
+				r := ob.NewRun(tc.name)
+				cfg.Obs = r
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ob.Flush(r)
+				if err := ob.Close(); err != nil {
+					t.Fatal(err)
+				}
+				csv, err := os.ReadFile(series)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res, csv
+			}
+			sres, scsv := run(modes[0])
+			for _, m := range modes[1:] {
+				mres, mcsv := run(m)
+				if !reflect.DeepEqual(sres, mres) {
+					t.Errorf("%s result differs from scalar:\nscalar: %+v\n%s: %+v", m.name, sres, m.name, mres)
+				}
+				if !bytes.Equal(scsv, mcsv) {
+					t.Errorf("%s series CSV differs from scalar:\nscalar:\n%s\n%s:\n%s", m.name, scsv, m.name, mcsv)
+				}
+			}
+		})
+	}
+}
+
+// TestKernelReuseDeterminism pins the machine-pool contract (DESIGN.md
+// §5c): a kernel released to the pool after a successful run and reacquired
+// by the next run of the same geometry must be observably identical to a
+// freshly booted one. The config uses a memory size no other test in this
+// package uses, so the pool slot for this geometry is empty before the
+// first run and the second run provably executes on the first run's Reset
+// kernel — any Reset leak (stale mapping, frame owner, buddy state, task
+// ID, chaos hook) shows up as a Result difference.
+func TestKernelReuseDeterminism(t *testing.T) {
+	for _, virt := range []bool{false, true} {
+		virt := virt
+		name := "native"
+		if virt {
+			name = "virtualized"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := testConfig("GUPS", PolicyTrident)
+			cfg.MemGB = 7 // geometry unique to this test: first acquire boots fresh
+			cfg.Accesses = 40_000
+			cfg.ShadowCheck = true
+			if virt {
+				cfg.Virtualized = true
+				cfg.HostPolicy = PolicyTrident
+			}
+			fresh, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pooled, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(fresh, pooled) {
+				t.Errorf("pooled-kernel run differs from fresh-kernel run:\nfresh:  %+v\npooled: %+v", fresh, pooled)
+			}
+		})
+	}
+}

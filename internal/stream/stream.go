@@ -13,3 +13,15 @@ type Access struct {
 	VA    uint64
 	Write bool
 }
+
+// Run is a maximal run of Len consecutive references to the same page,
+// represented by the run's first reference (workload.NextRuns coalesces at
+// draw time; the page boundary is the finest configured page size, so a run
+// stays within one page at every size a TLB could map it with). The
+// run-coalesced translation pipeline (tlb.SweepL1Runs, mmu.TranslateRuns)
+// performs one probe or walk per run and weights the hit/miss counters by
+// Len — byte-identical to translating each reference, see DESIGN.md §5c.
+type Run struct {
+	Access
+	Len int
+}

@@ -52,6 +52,22 @@ type TLB struct {
 	// maintained alongside sizeCounts. A zero total proves any probe for
 	// that size misses without even computing its tag.
 	liveBySize [units.NumPageSizes]uint32
+	// live counts the non-invalidated ways per set. live[s] == ways proves
+	// the set is full, so an insert's empty-way scan can be skipped (a full
+	// set always evicts the LRU way).
+	live []uint8
+	// sigs, when enabled by trackSig, is a per-set counting signature over
+	// the set's live tags: 32 byte-wide buckets packed into four uint64 words
+	// per set, bucket sigBucket(tag) counting the live ways whose tag hashes
+	// there. A zero bucket proves the tag absent without scanning the ways —
+	// pure acceleration, since the skipped scan would find nothing and touch
+	// nothing. The filter is consulted only at Hierarchy call sites (the
+	// ProbeL2 sweep) and in Invalidate, never inside Lookup/lookupHit:
+	// folding it into those paths pushes them past the inliner's budget and
+	// costs more than the skipped scans save. The Hierarchy enables it for
+	// the L2 structures only, whose wide sets (12-way shared) make miss
+	// scans expensive.
+	sigs []uint64
 }
 
 // invalidTag marks an empty way. No real tag collides with it: composed
@@ -64,6 +80,9 @@ func NewTLB(name string, sets, ways int) *TLB {
 	if sets <= 0 || ways <= 0 {
 		panic(fmt.Sprintf("tlb: invalid geometry %dx%d", sets, ways))
 	}
+	if ways > 255 {
+		panic(fmt.Sprintf("tlb: %d ways overflows the per-set live counter", ways))
+	}
 	t := &TLB{name: name, sets: sets, ways: ways}
 	if sets&(sets-1) == 0 {
 		t.mask = uint64(sets - 1)
@@ -72,6 +91,7 @@ func NewTLB(name string, sets, ways int) *TLB {
 	for i := range t.lines {
 		t.lines[i] = invalidTag
 	}
+	t.live = make([]uint8, sets)
 	return t
 }
 
@@ -96,16 +116,65 @@ func (t *TLB) trackSizes() {
 	t.sizeCounts = make([]uint8, t.sets*int(units.NumPageSizes))
 }
 
-// countInc adjusts the size-salt counter for tag's set by d (±1). No-op
-// when the summary is disabled.
-func (t *TLB) countInc(tag uint64, d int) {
+// trackSig enables the per-set counting signature (see sigs).
+func (t *TLB) trackSig() { t.sigs = make([]uint64, 4*t.sets) }
+
+// sigBucket hashes a tag to its counting-signature bucket (0..31). 32
+// buckets keep the filter selective even for the 12-way shared L2, whose
+// sets occupy most of a narrower bucket space.
+func sigBucket(tag uint64) uint { return uint(tag * 0x9e3779b97f4a7c15 >> 59) }
+
+// sigAdd/sigDel adjust the signature bucket count for tag in set s. No-ops
+// when the signature is disabled.
+func (t *TLB) sigAdd(s int, tag uint64) {
+	if t.sigs == nil {
+		return
+	}
+	b := sigBucket(tag)
+	t.sigs[4*s+int(b>>3)] += 1 << ((b & 7) * 8)
+}
+
+func (t *TLB) sigDel(s int, tag uint64) {
+	if t.sigs == nil {
+		return
+	}
+	b := sigBucket(tag)
+	t.sigs[4*s+int(b>>3)] -= 1 << ((b & 7) * 8)
+}
+
+// absent reports whether the signature proves tag is not in its set. A false
+// result proves nothing (disabled filter, or a bucket collision with a live
+// tag), so the caller probes; a true result makes the probe skippable — it
+// would find nothing and touch nothing. absentIn is the same test for a
+// caller that has already computed tag's set index and wants to reuse it.
+func (t *TLB) absent(tag uint64) bool {
+	return t.sigs != nil && t.absentIn(t.setOf(tag), tag)
+}
+
+func (t *TLB) absentIn(s int, tag uint64) bool {
+	if t.sigs == nil {
+		return false
+	}
+	b := sigBucket(tag)
+	return t.sigs[4*s+int(b>>3)]>>((b&7)*8)&0xff == 0
+}
+
+// countInc adjusts the size-salt counter for tag's set by d (±1). set is
+// tag's set index, which every caller has already computed. No-op when the
+// summary is disabled.
+func (t *TLB) countInc(tag uint64, set, d int) {
 	if t.sizeCounts == nil {
 		return
 	}
 	s := int(tag>>60) - 1
-	t.sizeCounts[t.setOf(tag)*int(units.NumPageSizes)+s] += uint8(d)
+	t.sizeCounts[set*int(units.NumPageSizes)+s] += uint8(d)
 	t.liveBySize[s] += uint32(d)
 }
+
+// setFull reports whether set s holds no invalidated way. A true result
+// lets an insert skip the empty-way scan entirely: a full set's insert
+// always evicts the LRU way.
+func (t *TLB) setFull(s int) bool { return t.live[s] == uint8(t.ways) }
 
 // hasSize reports whether any live entry of the given size exists anywhere in
 // the TLB; false proves a probe for that size would miss regardless of VA.
@@ -199,9 +268,17 @@ func (t *TLB) lookupHitSlow(tag uint64, b int) bool {
 // established the tag is absent.
 func (t *TLB) countMiss() { t.misses++ }
 
+// bulkHits records n hits without probing, for callers that have proven the
+// n lookups would all take the MRU fast path: a lookup of the set's MRU tag
+// increments hits and changes nothing else, so n such lookups collapse to
+// one counter add. The run-coalesced pipeline uses it for the non-leading
+// references of a run, whose tag the leading reference just made MRU.
+func (t *TLB) bulkHits(n uint64) { t.hits += n }
+
 // Insert installs tag as MRU of its set, evicting the LRU way if needed.
 func (t *TLB) Insert(tag uint64) {
-	b := t.base(tag)
+	s := t.setOf(tag)
+	b := s * t.ways
 	set := t.lines[b : b+t.ways]
 	// Already present? Just promote. (This scan must complete before the
 	// empty-way scan below: an invalidated way at a lower index than the
@@ -218,16 +295,22 @@ func (t *TLB) Insert(tag uint64) {
 	// Fill an invalidated way if one exists; otherwise the LRU way (last)
 	// falls out. Either way the new entry becomes MRU.
 	slot := t.ways - 1
-	for w, line := range set {
-		if line == invalidTag {
-			slot = w
-			break
+	if !t.setFull(s) {
+		for w, line := range set {
+			if line == invalidTag {
+				slot = w
+				break
+			}
 		}
 	}
 	if old := set[slot]; old != invalidTag {
-		t.countInc(old, -1)
+		t.countInc(old, s, -1)
+		t.sigDel(s, old)
+	} else {
+		t.live[s]++
 	}
-	t.countInc(tag, +1)
+	t.countInc(tag, s, +1)
+	t.sigAdd(s, tag)
 	for j := slot; j > 0; j-- {
 		set[j] = set[j-1]
 	}
@@ -238,19 +321,26 @@ func (t *TLB) Insert(tag uint64) {
 // completed miss probe of this structure): the duplicate-promotion scan is
 // skipped. The resulting set contents are exactly Insert's.
 func (t *TLB) insertMissed(tag uint64) {
-	b := t.base(tag)
+	s := t.setOf(tag)
+	b := s * t.ways
 	set := t.lines[b : b+t.ways]
 	slot := t.ways - 1
-	for w, line := range set {
-		if line == invalidTag {
-			slot = w
-			break
+	if !t.setFull(s) {
+		for w, line := range set {
+			if line == invalidTag {
+				slot = w
+				break
+			}
 		}
 	}
 	if old := set[slot]; old != invalidTag {
-		t.countInc(old, -1)
+		t.countInc(old, s, -1)
+		t.sigDel(s, old)
+	} else {
+		t.live[s]++
 	}
-	t.countInc(tag, +1)
+	t.countInc(tag, s, +1)
+	t.sigAdd(s, tag)
 	for j := slot; j > 0; j-- {
 		set[j] = set[j-1]
 	}
@@ -259,12 +349,18 @@ func (t *TLB) insertMissed(tag uint64) {
 
 // Invalidate removes tag if present.
 func (t *TLB) Invalidate(tag uint64) {
-	b := t.base(tag)
+	s := t.setOf(tag)
+	if t.absentIn(s, tag) {
+		return // the scan below would find nothing
+	}
+	b := s * t.ways
 	set := t.lines[b : b+t.ways]
 	for w, line := range set {
 		if line == tag {
 			set[w] = invalidTag
-			t.countInc(tag, -1)
+			t.countInc(tag, s, -1)
+			t.sigDel(s, tag)
+			t.live[s]--
 			return
 		}
 	}
@@ -279,6 +375,8 @@ func (t *TLB) Flush() {
 		t.sizeCounts[i] = 0
 	}
 	t.liveBySize = [units.NumPageSizes]uint32{}
+	clear(t.live)
+	clear(t.sigs)
 }
 
 // Stats returns the cumulative hit and miss counts.
@@ -373,6 +471,8 @@ func NewHierarchy(cfg Config) *Hierarchy {
 	}
 	shared.trackSizes()
 	h.l2[units.Size1G].trackSizes()
+	shared.trackSig()
+	h.l2[units.Size1G].trackSig()
 	return h
 }
 
@@ -381,7 +481,10 @@ func NewHierarchy(cfg Config) *Hierarchy {
 // sharing the L2 cannot alias while set indexing still uses the VPN's low
 // bits (set counts are powers of two).
 func tag(va uint64, size units.PageSize) uint64 {
-	return (va >> size.Shift()) | uint64(size+1)<<60
+	// 12+9*size is Shift() for the three x86 sizes, computed without the
+	// switch (and its defensive panic), which keeps tag inlinable at the
+	// pipeline's hottest call sites.
+	return va>>(12+9*uint(size)) | uint64(size+1)<<60
 }
 
 // Access translates one reference to a page of known size, updating TLB
@@ -490,6 +593,71 @@ sweep:
 	return k
 }
 
+// SweepL1Runs is SweepL1 over page runs: it consumes the longest prefix of
+// runs whose leading references all hit an L1 TLB, charging each consumed
+// run's full weight (Run.Len accesses and L1 hits) in bulk, and returns the
+// consumed count. Only the leading reference probes: a hit promotes the tag
+// to MRU of its set, so each of the run's remaining Len-1 references —
+// same page, hence same tag — would take the MRU fast path, which
+// increments the hit counter and changes nothing else (see bulkHits). The
+// sweep therefore performs exactly the state transitions and counter
+// updates SweepL1 over the expanded references would, byte-identically
+// (DESIGN.md §5c). It parks at the first run whose leading reference misses
+// every L1; the caller resolves that reference through the L2/walk path and
+// bulk-applies the rest of its run.
+func (h *Hierarchy) SweepL1Runs(runs []stream.Run, sizes []uint8) int {
+	hint := h.sweepHint
+	k := 0
+sweep:
+	for ; k < len(runs); k++ {
+		va := runs[k].VA
+		n := uint64(runs[k].Len)
+		// The hint probe is hand-inlined lookupHit (MRU check, then the
+		// inlinable slow scan): one probe per run is the pipeline's hottest
+		// edge, too hot to pay a call that exceeds the inliner's budget.
+		l1 := h.l1[hint]
+		t := tag(va, hint)
+		b := l1.base(t)
+		if l1.lines[b] == t {
+			l1.hits++
+		} else if !l1.lookupHitSlow(t, b) {
+			for s := units.PageSize(0); s < units.NumPageSizes; s++ {
+				if s == hint || !h.l1[s].hasSize(s) {
+					continue
+				}
+				t := tag(va, s)
+				if h.l1[s].mayContain(t, s) && h.l1[s].lookupHit(t) {
+					h.accesses[s] += n
+					h.l1Hits[s] += n
+					h.l1[s].bulkHits(n - 1)
+					sizes[k] = uint8(s)
+					hint = s
+					continue sweep
+				}
+			}
+			break
+		}
+		h.accesses[hint] += n
+		h.l1Hits[hint] += n
+		l1.bulkHits(n - 1) // the leading hit was charged above
+		sizes[k] = uint8(hint)
+	}
+	h.sweepHint = hint
+	return k
+}
+
+// BulkL1Hits charges n guaranteed L1 hits at the given size without
+// probing. The caller must have proven all n lookups would take the MRU
+// fast path — the run-coalesced pipeline's non-leading references qualify
+// because resolving the leading reference left the page's tag MRU in its L1
+// (an L1 hit promotes it, and both the L2-hit install and the walk install
+// insert at MRU). Counter updates are exactly n SweepL1 L1-hit updates.
+func (h *Hierarchy) BulkL1Hits(s units.PageSize, n uint64) {
+	h.accesses[s] += n
+	h.l1Hits[s] += n
+	h.l1[s].bulkHits(n)
+}
+
 // ProbeL2 is Probe for a reference already proven to miss every L1 — the
 // state SweepL1 leaves its parked reference in. It performs exactly what
 // Probe's L2 stage would: the skipped L1 probes are lookupHit misses, which
@@ -498,28 +666,53 @@ sweep:
 // Probe does; on a full miss nothing is touched.
 func (h *Hierarchy) ProbeL2(va uint64) (units.PageSize, bool) {
 	hint := h.probeHint
-	if t := tag(va, hint); h.l2[hint].mayContain(t, hint) && h.l2[hint].lookupHit(t) {
-		h.probeL2Hit(hint, t)
-		return hint, true
+	// Hand-inlined lookupHit for the hint probe, as in SweepL1Runs; the set
+	// index is computed once and shared by the signature test and the scan.
+	l2 := h.l2[hint]
+	t := tag(va, hint)
+	if s := l2.setOf(t); !l2.absentIn(s, t) {
+		b := s * l2.ways
+		if l2.lines[b] == t {
+			l2.hits++
+			h.probeL2Hit(hint, t)
+			return hint, true
+		}
+		if l2.lookupHitSlow(t, b) {
+			h.probeL2Hit(hint, t)
+			return hint, true
+		}
 	}
 	for s := units.PageSize(0); s < units.NumPageSizes; s++ {
 		if s == hint || !h.l2[s].hasSize(s) {
 			continue
 		}
-		if t := tag(va, s); h.l2[s].mayContain(t, s) && h.l2[s].lookupHit(t) {
-			h.probeL2Hit(s, t)
-			h.probeHint = s
-			return s, true
+		// Same hand-inlined probe as the hint path: one setOf serves the
+		// signature test, the MRU compare and the slow scan.
+		l2 := h.l2[s]
+		t := tag(va, s)
+		si := l2.setOf(t)
+		if l2.absentIn(si, t) {
+			continue
 		}
+		b := si * l2.ways
+		if l2.lines[b] == t {
+			l2.hits++
+		} else if !l2.lookupHitSlow(t, b) {
+			continue
+		}
+		h.probeL2Hit(s, t)
+		h.probeHint = s
+		return s, true
 	}
 	return 0, false
 }
 
 func (h *Hierarchy) probeL2Hit(s units.PageSize, t uint64) {
-	h.l1[s].countMiss()
+	l1 := h.l1[s]
+	l1.countMiss()
 	h.accesses[s]++
 	h.l2Hits[s]++
-	h.l1[s].insertMissed(t) // SweepL1 proved t absent from this L1
+	l1.insertMissed(t) // SweepL1 proved t absent from this L1
 }
 
 // AccessMissedAll performs Access's Miss arm for a reference already proven
@@ -658,15 +851,35 @@ func (p *PWC) WalkAccesses(va uint64, size units.PageSize) int {
 		deepest = 2
 	}
 	accesses := 4 - deepest // full walk if nothing hits: 4/3/2
+	hit := 3                // level of the first (deepest) hit; 3 = none
 	for c := deepest; c < 3; c++ {
-		if p.caches[c].Lookup(va >> pwcShift[c]) {
-			accesses = 1 + (c - deepest)
-			break
+		// Hand-inlined Lookup (MRU compare, then the inlinable slow scan):
+		// one probe per level per walk is too hot for a non-inlined call.
+		pc := p.caches[c]
+		t := va >> pwcShift[c]
+		b := pc.base(t)
+		if pc.lines[b] == t {
+			pc.hits++
+		} else if !pc.lookupSlow(t, b) {
+			continue
 		}
+		accesses = 1 + (c - deepest)
+		hit = c
+		break
 	}
-	// The walk loads (and thus caches) every traversed entry.
+	// The walk loads (and thus caches) every traversed entry. Each level's
+	// install is specialized by what the probe loop proved: below the hit
+	// the probe missed, so the duplicate-promotion scan is skippable; at the
+	// hit level the probe already promoted the entry to MRU, so Insert would
+	// change nothing at all; above it nothing was probed and the general
+	// Insert runs. Contents after this loop are exactly Insert-everywhere's.
 	for c := deepest; c < 3; c++ {
-		p.caches[c].Insert(va >> pwcShift[c])
+		switch t := va >> pwcShift[c]; {
+		case c < hit:
+			p.caches[c].insertMissed(t)
+		case c > hit:
+			p.caches[c].Insert(t)
+		}
 	}
 	return accesses
 }

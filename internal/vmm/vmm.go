@@ -69,6 +69,11 @@ type AddressSpace struct {
 	PT *pagetable.Table
 
 	vmas []VMA // sorted by Start, non-overlapping
+	// lastFind remembers which VMA the previous FindVMA returned. Faults
+	// cluster, so that VMA is checked before the binary search; a hit is
+	// always correct even across mutations, since any current VMA that
+	// contains va is — by non-overlap — the VMA containing va.
+	lastFind int
 	// nextHint implements the bump-then-first-fit allocation policy.
 	nextHint uint64
 }
@@ -76,6 +81,17 @@ type AddressSpace struct {
 // NewAddressSpace creates an empty address space with the given ID.
 func NewAddressSpace(id uint32) *AddressSpace {
 	return &AddressSpace{ID: id, PT: pagetable.New(), nextHint: MmapBase}
+}
+
+// Reset returns the address space to its post-NewAddressSpace state —
+// empty VMA list, hint at MmapBase, empty page table — while keeping the
+// page table's reclaimed node pools warm. The caller assigns a fresh ID
+// before reuse (the kernel's task pool does). A reset space is observably
+// identical to a fresh one.
+func (as *AddressSpace) Reset() {
+	as.PT.Reset()
+	as.vmas = as.vmas[:0]
+	as.nextHint = MmapBase
 }
 
 // VMAs returns a copy of the current VMA list, sorted by start address.
@@ -199,8 +215,14 @@ func (as *AddressSpace) MUnmap(va, size uint64) error {
 
 // FindVMA returns the VMA containing va.
 func (as *AddressSpace) FindVMA(va uint64) (VMA, bool) {
+	if j := as.lastFind; j < len(as.vmas) {
+		if v := as.vmas[j]; v.Start <= va && va < v.End {
+			return v, true
+		}
+	}
 	i := sort.Search(len(as.vmas), func(i int) bool { return as.vmas[i].End > va })
 	if i < len(as.vmas) && as.vmas[i].Start <= va {
+		as.lastFind = i
 		return as.vmas[i], true
 	}
 	return VMA{}, false

@@ -55,3 +55,28 @@ func BenchmarkNextBatch(b *testing.B) {
 		inst.NextBatch(buf)
 	}
 }
+
+// BenchmarkNextRuns measures the run-coalescing draw path — the producer
+// stage of the run-coalesced translation pipeline. Same draws as
+// BenchmarkNextBatch plus the per-reference page comparison; uniform
+// workloads coalesce almost nothing (runs of length 1), so this bench pins
+// the overhead coalescing adds to the draw loop. Reported per batch of
+// 2000 references.
+func BenchmarkNextRuns(b *testing.B) {
+	spec, ok := ByName("GUPS")
+	if !ok {
+		b.Fatal("unknown workload GUPS")
+	}
+	k := kernel.New(2*units.Page1G, units.TridentMaxOrder)
+	task := k.NewTask("bench")
+	inst, err := spec.Instantiate(k, task, fault.NewTHP(k), 42, testScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]stream.Run, 0, 2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst.NextRuns(buf, 2000)
+	}
+}

@@ -308,9 +308,13 @@ type Instance struct {
 	// refreshPlan) so the batched hot loop is pure splitmix64 arithmetic
 	// plus flat lut reads, with no per-draw modulus setup.
 	plan drawPlan
-	// FaultLatencies collects per-fault synchronous latencies (ns) during
-	// population, for the tail-latency analysis of Table 5.
-	FaultLatencies []float64
+	// Faults counts demand faults serviced during population, churn and
+	// Extend; FaultNs is their summed synchronous latency. (Table 5's tail
+	// latency comes from the request histogram in the simulator, not from
+	// here — individual fault latencies had no consumer, and retaining them
+	// per fault dominated population's allocations.)
+	Faults  uint64
+	FaultNs float64
 }
 
 type segments struct {
@@ -394,7 +398,7 @@ func (s *Spec) InstantiateObserved(k *kernel.Kernel, task *kernel.Task, policy f
 		return nil, fmt.Errorf("workload %s: stack: %w", s.Name, err)
 	}
 	inst.StackVA, inst.StackBytes = sva, stack
-	if err := inst.touch(policy, sva, stack); err != nil {
+	if _, err := inst.touch(policy, sva, stack); err != nil {
 		return nil, err
 	}
 
@@ -411,7 +415,7 @@ func (s *Spec) InstantiateObserved(k *kernel.Kernel, task *kernel.Task, policy f
 			if err != nil {
 				return nil, fmt.Errorf("workload %s: prealloc: %w", s.Name, err)
 			}
-			if err := inst.touch(policy, va, per); err != nil {
+			if _, err := inst.touch(policy, va, per); err != nil {
 				return nil, err
 			}
 			if observe != nil {
@@ -445,7 +449,7 @@ func (s *Spec) InstantiateObserved(k *kernel.Kernel, task *kernel.Task, policy f
 		if err != nil {
 			return nil, fmt.Errorf("workload %s: incremental: %w", s.Name, err)
 		}
-		if err := inst.touch(policy, va, sz); err != nil {
+		if _, err := inst.touch(policy, va, sz); err != nil {
 			return nil, err
 		}
 		pieces = append(pieces, region{va, sz})
@@ -488,7 +492,7 @@ func (s *Spec) InstantiateObserved(k *kernel.Kernel, task *kernel.Task, policy f
 		if err != nil {
 			return nil, fmt.Errorf("workload %s: churn alloc: %w", s.Name, err)
 		}
-		if err := inst.touch(policy, va, sz); err != nil {
+		if _, err := inst.touch(policy, va, sz); err != nil {
 			return nil, err
 		}
 		pieces = append(pieces, region{va, sz})
@@ -501,11 +505,13 @@ func (s *Spec) InstantiateObserved(k *kernel.Kernel, task *kernel.Task, policy f
 	return inst, nil
 }
 
-// touch demand-faults [va, va+size) in first-touch order. Already-mapped
+// touch demand-faults [va, va+size) in first-touch order, returning the
+// summed synchronous latency of the faults it serviced. Already-mapped
 // stretches are skipped (a greedy policy like 1GB-hugetlbfs maps whole
 // aligned huge pages, covering later allocations in the same range).
-func (inst *Instance) touch(policy fault.Policy, va, size uint64) error {
+func (inst *Instance) touch(policy fault.Policy, va, size uint64) (float64, error) {
 	end := va + size
+	var stall float64
 	for va < end {
 		if m, ok := inst.Task.AS.PT.Lookup(va); ok {
 			va = m.VA + m.Size.Bytes()
@@ -513,16 +519,18 @@ func (inst *Instance) touch(policy fault.Policy, va, size uint64) error {
 		}
 		r, err := policy.Handle(inst.Task, va)
 		if err != nil {
-			return fmt.Errorf("workload %s: fault at %#x: %w", inst.Spec.Name, va, err)
+			return stall, fmt.Errorf("workload %s: fault at %#x: %w", inst.Spec.Name, va, err)
 		}
-		inst.FaultLatencies = append(inst.FaultLatencies, r.LatencyNs)
+		inst.Faults++
+		stall += r.LatencyNs
 		next := r.VA + r.Size.Bytes()
 		if next <= va {
-			return fmt.Errorf("workload %s: fault did not advance at %#x", inst.Spec.Name, va)
+			return stall, fmt.Errorf("workload %s: fault did not advance at %#x", inst.Spec.Name, va)
 		}
 		va = next
 	}
-	return nil
+	inst.FaultNs += stall
+	return stall, nil
 }
 
 // buildSegments derives the linearized heap, the 1GB-unmappable fringe and
@@ -654,6 +662,47 @@ func (inst *Instance) NextBatch(buf []stream.Access) int {
 	return len(buf)
 }
 
+// NextRuns draws the next n references of the stream — consuming exactly
+// the raw splitmix64 values n Next calls would, like NextBatch — and
+// coalesces consecutive references to the same page into stream.Runs at
+// draw time. The page boundary is the finest configured page size (4KB), so
+// every reference of a run lies in one page at every size a TLB could map
+// it with. buf is the reusable backing array (its contents are overwritten;
+// it grows only if n exceeds its capacity); the returned slice's Len fields
+// sum to n. Expanding each run to Len copies of its first reference's page
+// reproduces the page sequence of NextBatch bit-for-bit (pinned by
+// TestNextRunsDeterminism across ragged draw counts).
+func (inst *Instance) NextRuns(buf []stream.Run, n int) []stream.Run {
+	rng := inst.rng
+	runs := buf[:0]
+	curPage := ^uint64(0) // no canonical VA shifts down to this sentinel
+	pageShift := units.Size4K.Shift()
+	for i := 0; i < n; i++ {
+		// The draw body is NextBatch's, verbatim: same raw values, same
+		// accept/reject decisions, same reduction.
+		write := float64(rng.Uint64()>>11)/(1<<53) < inst.writeFrac
+		r := float64(rng.Uint64()>>11) / (1 << 53)
+		var va uint64
+		switch {
+		case r < inst.stackThresh && inst.hasStack:
+			va = inst.StackVA + draw(rng, inst.StackBytes, inst.plan.stackBound)
+		case r < inst.fringeThresh && inst.hasFringe:
+			va = inst.fringe.at(draw(rng, inst.fringe.total, inst.plan.fringeBound))
+		case r < inst.coldThresh:
+			va = inst.heap.at(draw(rng, inst.heap.total, inst.plan.heapBound))
+		default:
+			va = inst.heap.at(draw(rng, inst.hotBytes, inst.plan.hotBound))
+		}
+		if page := va >> pageShift; page == curPage {
+			runs[len(runs)-1].Len++
+		} else {
+			runs = append(runs, stream.Run{Access: stream.Access{VA: va, Write: write}, Len: 1})
+			curPage = page
+		}
+	}
+	return runs
+}
+
 // draw is Uint64n(n) with the rejection bound hoisted: accept the first raw
 // value below bound (identical accept/reject sequence) and reduce mod n.
 func draw(rng *xrand.Rand, n, bound uint64) uint64 {
@@ -679,13 +728,9 @@ func (inst *Instance) Extend(policy fault.Policy, bytes uint64) (float64, error)
 	if err != nil {
 		return 0, fmt.Errorf("workload %s: extend: %w", inst.Spec.Name, err)
 	}
-	before := len(inst.FaultLatencies)
-	if err := inst.touch(policy, va, bytes); err != nil {
+	stall, err := inst.touch(policy, va, bytes)
+	if err != nil {
 		return 0, err
-	}
-	var stall float64
-	for _, ns := range inst.FaultLatencies[before:] {
-		stall += ns
 	}
 	inst.heap.add(va, bytes)
 	inst.refreshPlan()

@@ -213,13 +213,14 @@ func segSize(s *segments, i int) uint64 {
 
 func TestFaultLatenciesRecorded(t *testing.T) {
 	inst, _ := instantiate(t, "Btree", 2, thp)
-	if len(inst.FaultLatencies) == 0 {
-		t.Fatal("no fault latencies")
+	if inst.Faults == 0 {
+		t.Fatal("no faults recorded during population")
 	}
-	for _, ns := range inst.FaultLatencies[:10] {
-		if ns <= 0 {
-			t.Fatal("non-positive latency")
-		}
+	if inst.FaultNs <= 0 {
+		t.Fatalf("population faults recorded non-positive total latency: %v", inst.FaultNs)
+	}
+	if avg := inst.FaultNs / float64(inst.Faults); avg <= 0 {
+		t.Fatalf("non-positive mean fault latency: %v", avg)
 	}
 }
 
@@ -337,6 +338,66 @@ func TestNextBatchDeterminism(t *testing.T) {
 						t.Fatalf("draw %d: batch (%#x, %v) != scalar (%#x, %v)",
 							drawn+i, buf[i].VA, buf[i].Write, va, write)
 					}
+				}
+				drawn += n
+			}
+		})
+	}
+}
+
+// TestNextRunsDeterminism pins the run-coalesced draw contract: NextRuns
+// must consume exactly the raw values NextBatch would and produce maximal
+// runs whose expansion — Len references, all in the leading reference's
+// page — reproduces NextBatch's page sequence bit-for-bit, for any sequence
+// of ragged draw counts. Three instances of the same (workload, seed) are
+// advanced in lockstep: one through NextBatch (the reference stream), one
+// through NextRuns, and one through Next to prove the rng cursor of the
+// runs instance never drifts at draw-count boundaries.
+func TestNextRunsDeterminism(t *testing.T) {
+	for _, name := range []string{"GUPS", "Redis", "SVM"} {
+		t.Run(name, func(t *testing.T) {
+			batched, _ := instantiate(t, name, 2, thp)
+			coalesced, _ := instantiate(t, name, 2, thp)
+
+			// Ragged counts: primes and powers, including 1, so runs end
+			// on every alignment relative to the draw-count boundary.
+			sizes := []int{1, 3, 17, 256, 7, 64, 1000, 5, 129, 2}
+			batch := make([]stream.Access, 1000)
+			runBuf := make([]stream.Run, 0, 1000)
+			pageShift := units.Size4K.Shift()
+			drawn := 0
+			for _, n := range sizes {
+				if got := batched.NextBatch(batch[:n]); got != n {
+					t.Fatalf("NextBatch(%d) = %d", n, got)
+				}
+				runs := coalesced.NextRuns(runBuf, n)
+				total := 0
+				i := 0 // position within batch[:n]
+				for k, r := range runs {
+					if r.Len < 1 {
+						t.Fatalf("run %d has Len %d", k, r.Len)
+					}
+					// The leading reference is the draw itself, verbatim.
+					if r.VA != batch[i].VA || r.Write != batch[i].Write {
+						t.Fatalf("draw %d: run lead (%#x, %v) != batch (%#x, %v)",
+							drawn+i, r.VA, r.Write, batch[i].VA, batch[i].Write)
+					}
+					// Every coalesced reference shares the leading page.
+					for j := 1; j < r.Len; j++ {
+						if batch[i+j].VA>>pageShift != r.VA>>pageShift {
+							t.Fatalf("draw %d: coalesced into run at page %#x but batch page is %#x",
+								drawn+i+j, r.VA>>pageShift, batch[i+j].VA>>pageShift)
+						}
+					}
+					// Runs are maximal: the next run starts a new page.
+					if k+1 < len(runs) && runs[k+1].VA>>pageShift == r.VA>>pageShift {
+						t.Fatalf("run %d not maximal: next run shares page %#x", k, r.VA>>pageShift)
+					}
+					i += r.Len
+					total += r.Len
+				}
+				if total != n {
+					t.Fatalf("NextRuns(%d): Len fields sum to %d", n, total)
 				}
 				drawn += n
 			}
