@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench benchcheck benchjson chaos fuzz lint obs profile verify clean
+.PHONY: all build vet test race bench benchcheck benchjson chaos fuzz lint obs service profile verify clean
 
 all: build
 
@@ -21,7 +21,7 @@ test:
 # plus the shadow-coherence tests, which hammer the TLB fast path's flush
 # discipline from parallel subtests.
 race:
-	$(GO) test -race ./internal/runner ./internal/stats ./internal/obs
+	$(GO) test -race ./internal/runner ./internal/stats ./internal/obs ./internal/store ./internal/service
 	$(GO) test -race -run 'TestShadowCoherence' ./internal/sim
 
 bench:
@@ -79,6 +79,14 @@ profile:
 	  -memprofile report/profile/fig9.mem.pb.gz . \
 	  | tee report/profile/fig9.bench.txt
 
+# Durable-service gate (DESIGN.md §9): the crash-recovery sequence from
+# ci.sh — serve, submit, kill -9 after the first durable simulation,
+# restart with -resume, and byte-compare the finished report against an
+# uninterrupted run's. The in-process twin is the service package's
+# TestDrainResumeByteIdentical; this exercises the real signal path.
+service:
+	$(GO) test -race -run 'TestDrainResumeByteIdentical|TestHTTPAPI' ./internal/service
+
 # Observability gate: trace a small experiment and validate the trace
 # (parse, monotonic timestamps, balanced spans) plus the time series.
 obs:
@@ -88,7 +96,7 @@ obs:
 	$(GO) run ./cmd/tracecheck "$$obsdir"/trace/figure9.json && \
 	test -s "$$obsdir"/trace/figure9-series.csv
 
-verify: build vet lint test race chaos fuzz benchcheck obs
+verify: build vet lint test race chaos fuzz benchcheck obs service
 
 clean:
 	rm -rf report

@@ -4,9 +4,13 @@
 # chaos/audit robustness suites, a 10s fuzz smoke of the audit-checked
 # kernel-op fuzzer, a one-iteration sweep of every benchmark (bench-rot
 # gate), the tridentlint determinism & layering suite (self-clean gate plus
-# a negative gate on seeded violations, DESIGN.md §8), and a traced
-# experiment validated by tracecheck (observability gate, DESIGN.md §7).
-# Equivalent to `make verify`.
+# a negative gate on seeded violations, DESIGN.md §8), a traced
+# experiment validated by tracecheck (observability gate, DESIGN.md §7),
+# and the durable-service crash gate (DESIGN.md §9): kill -9 a running
+# sweep service mid-sweep, restart with -resume, and require the finished
+# report byte-identical to an uninterrupted run's.
+# Equivalent to `make verify` (the make twin runs the in-process
+# drain/resume tests; the kill -9 path lives here).
 set -eux
 
 go build ./...
@@ -26,7 +30,7 @@ go run ./cmd/tridentlint internal/lint/testdata/bad >/dev/null || lintrc=$?
 test "$lintrc" -eq 1
 
 go test ./...
-go test -race ./internal/runner ./internal/stats ./internal/obs
+go test -race ./internal/runner ./internal/stats ./internal/obs ./internal/store ./internal/service
 go test -race -run 'TestShadowCoherence' ./internal/sim
 go test -race ./internal/chaos ./internal/audit
 go test -race -run 'TestChaos|TestAuditEvery|TestObs' ./internal/sim
@@ -43,7 +47,57 @@ go run ./cmd/benchjson
 # Perfetto trace (parse, monotonic per-track timestamps, balanced spans)
 # and a non-empty per-batch time series.
 obsdir=$(mktemp -d)
-trap 'rm -rf "$obsdir"' EXIT
+svcdir=$(mktemp -d)
+trap 'rm -rf "$obsdir" "$svcdir"; kill -9 $svcpid 2>/dev/null || true' EXIT
+svcpid=""
 go run ./cmd/experiments -quick -only fig9 -trace -out "$obsdir" >/dev/null
 go run ./cmd/tracecheck "$obsdir"/trace/figure9.json
 test -s "$obsdir"/trace/figure9-series.csv
+
+# Durable-service gate (DESIGN.md §9): the sweep service must survive
+# kill -9 mid-sweep. Sequence: serve → submit → wait for one durably
+# journaled simulation → kill -9 → restart with -resume → the finished
+# report must be byte-identical to an uninterrupted run (which uses a
+# different worker count, so the diff also re-proves worker independence).
+go build -o "$svcdir/experiments" ./cmd/experiments
+go build -o "$svcdir/sweepctl" ./cmd/sweepctl
+wait_addr() {
+  for _ in $(seq 1 200); do test -s "$1" && return 0; sleep 0.05; done
+  echo "sweep service did not bind" >&2
+  return 1
+}
+SWEEP_ARGS="-workloads GUPS -policies 4k,thp,trident -seed 3"
+
+# Reference: uninterrupted run, default parallelism; SIGTERM must drain
+# and exit 0.
+"$svcdir/experiments" -serve -http 127.0.0.1:0 -store "fs:$svcdir/store-ref" -out "$svcdir/ref" >/dev/null 2>&1 &
+svcpid=$!
+wait_addr "$svcdir/ref/addr"
+id=$("$svcdir/sweepctl" -addrfile "$svcdir/ref/addr" submit $SWEEP_ARGS 2>/dev/null)
+"$svcdir/sweepctl" -addrfile "$svcdir/ref/addr" wait "$id" >/dev/null 2>&1
+"$svcdir/sweepctl" -addrfile "$svcdir/ref/addr" report "$id" >"$svcdir/ref.csv"
+kill -TERM $svcpid
+wait $svcpid
+
+# Crash run: single worker (wider kill window), killed -9 after the first
+# simulation is durable.
+"$svcdir/experiments" -serve -parallel 1 -http 127.0.0.1:0 -store "fs:$svcdir/store" -out "$svcdir/svc" >/dev/null 2>&1 &
+svcpid=$!
+wait_addr "$svcdir/svc/addr"
+id2=$("$svcdir/sweepctl" -addrfile "$svcdir/svc/addr" submit $SWEEP_ARGS 2>/dev/null)
+test "$id2" = "$id" # content-addressed: same sweep, same id, any process
+"$svcdir/sweepctl" -addrfile "$svcdir/svc/addr" wait -completed 1 "$id" >/dev/null 2>&1
+kill -9 $svcpid
+wait $svcpid || true
+rm -f "$svcdir/svc/addr" # stale: the restart writes a fresh one
+
+# Restart with -resume: the journaled request is re-enqueued and finished.
+"$svcdir/experiments" -serve -resume -parallel 1 -http 127.0.0.1:0 -store "fs:$svcdir/store" -out "$svcdir/svc" >/dev/null 2>&1 &
+svcpid=$!
+wait_addr "$svcdir/svc/addr"
+"$svcdir/sweepctl" -addrfile "$svcdir/svc/addr" -timeout 5m wait "$id" >/dev/null 2>&1
+"$svcdir/sweepctl" -addrfile "$svcdir/svc/addr" report "$id" >"$svcdir/resumed.csv"
+kill -TERM $svcpid
+wait $svcpid
+svcpid=""
+cmp "$svcdir/ref.csv" "$svcdir/resumed.csv"

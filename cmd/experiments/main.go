@@ -12,6 +12,9 @@
 //	experiments -resume          # reuse <out>/checkpoint from a killed run
 //	experiments -trace           # Perfetto trace + time series per experiment
 //	experiments -http :8080      # live /metrics, /progress, /debug/pprof
+//	experiments -store fs:cache  # reuse results published by any previous run
+//	experiments -serve -http :8080 -store fs:cache
+//	                             # durable sweep service: POST /sweeps, drain on SIGTERM
 //
 // A failing experiment job (panic, error, timeout) does not abort the run:
 // the remaining jobs complete, the rows that depend on the failed job are
@@ -22,6 +25,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -29,15 +33,19 @@ import (
 	"net/http"
 	netpprof "net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	trident "repro"
 	"repro/internal/obs"
 	"repro/internal/runner"
+	"repro/internal/service"
+	"repro/internal/store"
 )
 
 // perfRecord is one experiment's wall-time and memo-cache activity, written
@@ -49,8 +57,10 @@ type perfRecord struct {
 	WallMillis float64 `json:"wall_ms"`
 	CacheHits  uint64  `json:"cache_hits"`
 	CacheMiss  uint64  `json:"cache_misses"`
-	// Resumed counts jobs reloaded from the checkpoint journal.
-	Resumed int `json:"checkpoint_resumed,omitempty"`
+	// Resumed counts jobs reloaded from the checkpoint journal; StoreHits
+	// counts jobs reloaded from the persistent result store.
+	Resumed   int `json:"checkpoint_resumed,omitempty"`
+	StoreHits int `json:"store_hits,omitempty"`
 	// PhaseWallMs breaks the executed jobs' wall time down by simulation
 	// phase (build/populate/measure-early/daemons/measure), summed across
 	// the experiment's jobs. Cache hits contribute nothing.
@@ -64,6 +74,7 @@ type perfSummary struct {
 	UniqueSims   uint64       `json:"unique_simulations"`
 	CacheHits    uint64       `json:"cache_hits"`
 	Resumed      uint64       `json:"checkpoint_resumed"`
+	StoreHits    uint64       `json:"store_hits"`
 	CacheEntries int          `json:"cache_entries"`
 	Experiments  []perfRecord `json:"experiments"`
 }
@@ -125,6 +136,8 @@ func run() error {
 		sampleEach = flag.Int("sample-every", 1, "with -trace: record one time-series sample every N measurement batches (0 disables the series)")
 		httpAddr   = flag.String("http", "", "serve /metrics (Prometheus), /progress (JSON) and /debug/pprof on this address while running (e.g. :8080)")
 		logJSON    = flag.Bool("logjson", false, "emit diagnostics as JSON (slog) instead of text; tables still print to stdout")
+		storeURL   = flag.String("store", "", `persistent result store ("fs:<dir>" or "mem:"): reuse results published by previous runs and publish new ones`)
+		serve      = flag.Bool("serve", false, "run as the sweep service instead of a batch: accept sweep submissions on the -http server (POST /sweeps) until SIGTERM, then drain and exit 0")
 	)
 	flag.Usage = func() {
 		o := flag.CommandLine.Output()
@@ -141,6 +154,12 @@ Examples:
   experiments -trace -only fig9     write report/trace/figure9.json (open in
                                     https://ui.perfetto.dev) and figure9-series.csv
   experiments -http :8080           watch a long run live: curl /progress, /metrics
+  experiments -store fs:cache       publish/reuse results across processes via a
+                                    checksummed content-addressed store
+  experiments -serve -http :8080 -store fs:cache -out svc
+                                    run as the sweep service: submit grids with
+                                    POST /sweeps (see cmd/sweepctl), SIGTERM drains,
+                                    restart with -resume finishes interrupted sweeps
 `)
 	}
 	flag.Parse()
@@ -159,6 +178,10 @@ Examples:
 	// mistaken for distinct runs.
 	if *seed == 0 {
 		return fmt.Errorf("-seed 0 is reserved (it means \"unset\" and would alias -seed 1); pick a nonzero seed")
+	}
+
+	if *serve {
+		return runServe(*out, *httpAddr, *storeURL, *parallel, *timeout, *seed, *resume)
 	}
 
 	settings := trident.FullScale()
@@ -199,6 +222,19 @@ Examples:
 	}
 	settings.Checkpoint = ckptDir
 
+	// The persistent store is the cross-process tier behind the journal:
+	// results published by any previous run (or by the sweep service) are
+	// reloaded instead of recomputed.
+	var st *store.Store
+	if *storeURL != "" {
+		var err error
+		if st, err = store.Open(*storeURL); err != nil {
+			return err
+		}
+		defer st.Close()
+		settings.Store = st
+	}
+
 	ctx := context.Background()
 	if *deadline > 0 {
 		var cancel context.CancelFunc
@@ -223,11 +259,11 @@ Examples:
 	}
 
 	if *httpAddr != "" {
-		ln, err := serveHTTP(*httpAddr)
+		ln, srv, err := serveHTTP(*httpAddr, newMux(newMetrics()))
 		if err != nil {
 			return err
 		}
-		defer ln.Close()
+		defer srv.Close()
 		slog.Info("serving diagnostics", "addr", ln.Addr().String(),
 			"endpoints", "/metrics /progress /debug/pprof")
 	}
@@ -273,6 +309,7 @@ Examples:
 		}
 		if p, ok := runner.ProgressFor(e.name); ok {
 			rec.Resumed = p.Resumed
+			rec.StoreHits = p.StoreHits
 			if len(p.PhaseWallMs) > 0 {
 				rec.PhaseWallMs = p.PhaseWallMs
 			}
@@ -285,7 +322,15 @@ Examples:
 	totalElapsed := time.Since(totalStart).Round(time.Millisecond)
 	slog.Info("run complete", "experiments", len(records), "wall", totalElapsed.String(),
 		"workers", workers, "unique_simulations", cs.Misses, "cache_hits", cs.Hits,
-		"checkpoint_resumed", cs.Resumed)
+		"checkpoint_resumed", cs.Resumed, "store_hits", cs.StoreHits)
+	if st != nil {
+		if err := st.Flush(); err != nil {
+			slog.Warn("store flush failed; published results may not be durable", "err", err)
+		}
+		ss := st.Stats()
+		slog.Info("store", "hits", ss.Hits, "misses", ss.Misses, "puts", ss.Puts,
+			"corrupt", ss.Corrupt, "retries", ss.Retries, "put_errors", ss.PutErrors)
+	}
 
 	summary := perfSummary{
 		Workers:      workers,
@@ -293,6 +338,7 @@ Examples:
 		UniqueSims:   cs.Misses,
 		CacheHits:    cs.Hits,
 		Resumed:      cs.Resumed,
+		StoreHits:    cs.StoreHits,
 		CacheEntries: cs.Entries,
 		Experiments:  records,
 	}
@@ -317,6 +363,12 @@ Examples:
 		}
 	}
 
+	// Durability notes never fail the run — the results they annotate were
+	// delivered correctly — but each one is a disk misbehaving; say so.
+	for _, n := range fails.Notes() {
+		slog.Warn("durability incident (result delivered, entry re-executed or lost)", "note", n.Reason())
+	}
+
 	if fl := fails.All(); len(fl) > 0 {
 		for i := range fl {
 			slog.Error("job did not complete; its rows are missing from the CSVs", "job", fl[i].Reason())
@@ -326,18 +378,79 @@ Examples:
 	return nil
 }
 
-// serveHTTP starts the diagnostics server: the obs metrics registry on
-// /metrics, live experiment progress as JSON on /progress, and the standard
-// pprof handlers under /debug/pprof. It binds synchronously (so a bad
-// address fails the run immediately) and serves until the listener closes.
-func serveHTTP(addr string) (net.Listener, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("-http %s: %w", addr, err)
+// runServe is the -serve mode: the process becomes the durable sweep
+// service. The -http server grows the service API (POST /sweeps, status,
+// reports, /healthz, /readyz) next to the usual diagnostics endpoints, and
+// the process runs until SIGTERM/SIGINT — then drains: admission stops,
+// the in-flight sweep checkpoints at its batch boundary, the store
+// flushes, and the process exits 0. Restarting with -resume finishes
+// every interrupted sweep to byte-identical reports.
+func runServe(out, addr, storeURL string, parallel int, timeout time.Duration, seed uint64, resume bool) error {
+	if addr == "" {
+		addr = "127.0.0.1:0"
 	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	var st *store.Store
+	if storeURL != "" {
+		var err error
+		if st, err = store.Open(storeURL); err != nil {
+			return err
+		}
+		defer st.Close()
+	}
+	svc, err := service.New(service.Config{
+		Dir:         out,
+		Store:       st,
+		Parallelism: parallel,
+		JobTimeout:  timeout,
+		RetrySeed:   seed,
+		Resume:      resume,
+	})
+	if err != nil {
+		return err
+	}
+
+	reg := newMetrics()
+	svc.RegisterMetrics(reg)
+	mux := newMux(reg)
+	api := svc.Handler()
+	for _, route := range []string{"/sweeps", "/sweeps/", "/healthz", "/readyz"} {
+		mux.Handle(route, api)
+	}
+	ln, srv, err := serveHTTP(addr, mux)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	// The bound address lands in <out>/addr so scripts (and the CI smoke
+	// gate) can use ":0" and still find the service.
+	if err := store.WriteFileAtomic(filepath.Join(out, "addr"), []byte(ln.Addr().String()+"\n")); err != nil {
+		return err
+	}
+	slog.Info("sweep service ready", "addr", ln.Addr().String(), "store", storeURL,
+		"resume", resume, "endpoints", "/sweeps /healthz /readyz /metrics /progress /debug/pprof")
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	if err := svc.Run(ctx); err != nil {
+		return err
+	}
+	slog.Info("drained; exiting cleanly")
+	return nil
+}
+
+// newMux builds the diagnostics mux: the obs metrics registry on /metrics,
+// live experiment progress as JSON on /progress, and the standard pprof
+// handlers under /debug/pprof.
+func newMux(reg *obs.Registry) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", newMetrics())
-	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+	mux.Handle("/metrics", reg)
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		if r.Context().Err() != nil {
+			return // client already gone; skip the snapshot
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -348,12 +461,31 @@ func serveHTTP(addr string) (net.Listener, error) {
 	mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+	return mux
+}
+
+// serveHTTP binds synchronously (so a bad address fails the run
+// immediately) and serves until the listener or server closes. The header
+// and write timeouts keep a stalled client from pinning a connection —
+// except pprof profile captures, which legitimately stream for ~30s, so
+// the write timeout stays generous.
+func serveHTTP(addr string, mux http.Handler) (net.Listener, *http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("-http %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+	}
 	go func() {
-		if err := http.Serve(ln, mux); err != nil && !strings.Contains(err.Error(), "use of closed network connection") {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) &&
+			!strings.Contains(err.Error(), "use of closed network connection") {
 			slog.Error("diagnostics server stopped", "err", err)
 		}
 	}()
-	return ln, nil
+	return ln, srv, nil
 }
 
 // newMetrics builds the Prometheus registry over the runner's live state.
@@ -369,6 +501,9 @@ func newMetrics() *obs.Registry {
 	})
 	reg.GaugeFunc("trident_checkpoint_resumed_total", "simulations reloaded from the checkpoint journal", func() float64 {
 		return float64(runner.Cache().Resumed)
+	})
+	reg.GaugeFunc("trident_store_loaded_total", "simulations reloaded from the persistent result store", func() float64 {
+		return float64(runner.Cache().StoreHits)
 	})
 	reg.GaugeFunc("trident_cache_entries", "live memo-cache entries", func() float64 {
 		return float64(runner.Cache().Entries)

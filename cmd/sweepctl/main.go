@@ -1,0 +1,268 @@
+// Command sweepctl talks to the sweep service (experiments -serve): it
+// submits workloads × policies grids, watches their durable progress, and
+// fetches finished reports.
+//
+//	sweepctl -addrfile svc/addr submit -workloads GUPS,Redis -policies 4k,trident
+//	sweepctl -addr 127.0.0.1:8080 status <id>
+//	sweepctl -addr 127.0.0.1:8080 wait <id>            # until done (or failed)
+//	sweepctl -addr 127.0.0.1:8080 wait -completed 1 <id>  # until 1 sim is durable
+//	sweepctl -addr 127.0.0.1:8080 report <id> > report.csv
+//	sweepctl -addr 127.0.0.1:8080 list
+//
+// submit prints the sweep id alone on stdout so scripts can capture it;
+// everything else human goes to stderr. Exit status: 0 on success, 1 on
+// a failed sweep or transport error, 2 on usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "service address (host:port)")
+		addrFile = flag.String("addrfile", "", "read the service address from this file (written by experiments -serve)")
+		timeout  = flag.Duration("timeout", 5*time.Minute, "overall deadline for wait")
+	)
+	flag.Usage = func() {
+		fmt.Fprint(flag.CommandLine.Output(),
+			"Usage: sweepctl [-addr host:port | -addrfile file] <submit|status|wait|report|list> ...\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base, err := baseURL(*addr, *addrFile)
+	if err != nil {
+		fatal(err)
+	}
+	switch cmd, args := flag.Arg(0), flag.Args()[1:]; cmd {
+	case "submit":
+		err = submit(base, args)
+	case "status":
+		err = status(base, args)
+	case "wait":
+		err = wait(base, args, *timeout)
+	case "report":
+		err = report(base, args)
+	case "list":
+		err = list(base)
+	default:
+		fmt.Fprintf(os.Stderr, "sweepctl: unknown command %q\n", cmd)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweepctl:", err)
+	os.Exit(1)
+}
+
+func baseURL(addr, addrFile string) (string, error) {
+	if addr == "" && addrFile != "" {
+		data, err := os.ReadFile(addrFile)
+		if err != nil {
+			return "", fmt.Errorf("reading -addrfile: %w", err)
+		}
+		addr = strings.TrimSpace(string(data))
+	}
+	if addr == "" {
+		return "", fmt.Errorf("no service address: pass -addr or -addrfile")
+	}
+	return "http://" + addr, nil
+}
+
+// sweepStatus mirrors the service's Sweep JSON; only the fields sweepctl
+// reads are declared.
+type sweepStatus struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Jobs      int    `json:"jobs"`
+	Completed int    `json:"completed"`
+	Attempts  int    `json:"attempts"`
+	Error     string `json:"error"`
+}
+
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.Unmarshal(body, v)
+}
+
+func submit(base string, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	var (
+		workloads = fs.String("workloads", "GUPS", "comma-separated Table-2 workload names")
+		policies  = fs.String("policies", "4k,thp,trident", "comma-separated policy names")
+		client    = fs.String("client", "", "client name for fairness accounting")
+		memGB     = fs.Uint64("mem", 0, "physical memory GB (0 = default)")
+		scale     = fs.Float64("scale", 0, "footprint scale factor (0 = default)")
+		accesses  = fs.Int("accesses", 0, "sampled references (0 = default)")
+		seed      = fs.Uint64("seed", 0, "random seed (0 = default)")
+		fragment  = fs.Bool("fragment", false, "pre-fragment physical memory")
+		deadline  = fs.Duration("deadline", 0, "sweep deadline budget (0 = service default)")
+	)
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	req := map[string]any{
+		"workloads": strings.Split(*workloads, ","),
+		"policies":  strings.Split(*policies, ","),
+	}
+	if *client != "" {
+		req["client"] = *client
+	}
+	if *memGB > 0 {
+		req["mem_gb"] = *memGB
+	}
+	if *scale > 0 {
+		req["scale"] = *scale
+	}
+	if *accesses > 0 {
+		req["accesses"] = *accesses
+	}
+	if *seed > 0 {
+		req["seed"] = *seed
+	}
+	if *fragment {
+		req["fragment"] = true
+	}
+	if *deadline > 0 {
+		req["deadline_ms"] = deadline.Milliseconds()
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(base+"/sweeps", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	respBody, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			return fmt.Errorf("submit rejected: %s (retry after %ss): %s", resp.Status, ra, strings.TrimSpace(string(respBody)))
+		}
+		return fmt.Errorf("submit rejected: %s: %s", resp.Status, strings.TrimSpace(string(respBody)))
+	}
+	var sw sweepStatus
+	if err := json.Unmarshal(respBody, &sw); err != nil {
+		return fmt.Errorf("decoding submit response: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "sweep %s: %s (%d jobs)\n", sw.ID, sw.State, sw.Jobs)
+	fmt.Println(sw.ID)
+	return nil
+}
+
+func fetch(base, id string) (sweepStatus, error) {
+	var sw sweepStatus
+	err := getJSON(base+"/sweeps/"+id, &sw)
+	return sw, err
+}
+
+func status(base string, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: sweepctl status <id>")
+	}
+	sw, err := fetch(base, args[0])
+	if err != nil {
+		return err
+	}
+	printStatus(sw)
+	return nil
+}
+
+func printStatus(sw sweepStatus) {
+	fmt.Printf("%s  %-12s %d/%d jobs durable  attempts=%d", sw.ID, sw.State, sw.Completed, sw.Jobs, sw.Attempts)
+	if sw.Error != "" {
+		fmt.Printf("  (%s)", sw.Error)
+	}
+	fmt.Println()
+}
+
+// wait polls until the sweep is done (or, with -completed N, until N of
+// its simulations are durably journaled — the hook the crash-recovery
+// gate uses to kill the service only after real progress exists).
+func wait(base string, args []string, timeout time.Duration) error {
+	fs := flag.NewFlagSet("wait", flag.ExitOnError)
+	completed := fs.Int("completed", 0, "return once this many simulations are durable (0 = wait for the whole sweep)")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: sweepctl wait [-completed N] <id>")
+	}
+	id := fs.Arg(0)
+	deadline := time.Now().Add(timeout)
+	for {
+		sw, err := fetch(base, id)
+		if err != nil {
+			return err
+		}
+		switch {
+		case *completed > 0 && sw.Completed >= *completed:
+			printStatus(sw)
+			return nil
+		case sw.State == "done":
+			printStatus(sw)
+			return nil
+		case sw.State == "failed":
+			printStatus(sw)
+			return fmt.Errorf("sweep %s failed: %s", id, sw.Error)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("timed out after %v waiting for %s (state %s, %d/%d durable)",
+				timeout, id, sw.State, sw.Completed, sw.Jobs)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func report(base string, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: sweepctl report <id>")
+	}
+	resp, err := http.Get(base + "/sweeps/" + args[0] + "/report")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("report: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	_, err = os.Stdout.Write(body)
+	return err
+}
+
+func list(base string) error {
+	var sweeps []sweepStatus
+	if err := getJSON(base+"/sweeps", &sweeps); err != nil {
+		return err
+	}
+	for _, sw := range sweeps {
+		printStatus(sw)
+	}
+	return nil
+}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -19,24 +20,15 @@ import (
 
 	trident "repro"
 	"repro/internal/obs"
+	"repro/internal/store"
 	"repro/internal/units"
 )
-
-var policies = map[string]trident.Policy{
-	"4k":             trident.Policy4K,
-	"thp":            trident.PolicyTHP,
-	"hugetlbfs2m":    trident.PolicyHugetlbfs2M,
-	"hugetlbfs1g":    trident.PolicyHugetlbfs1G,
-	"hawkeye":        trident.PolicyHawkEye,
-	"trident":        trident.PolicyTrident,
-	"trident-1gonly": trident.PolicyTrident1GOnly,
-	"trident-nc":     trident.PolicyTridentNC,
-}
 
 func main() {
 	var (
 		workloadName = flag.String("workload", "GUPS", "Table-2 workload name (see -list)")
-		policyName   = flag.String("policy", "trident", "policy: 4k|thp|hugetlbfs2m|hugetlbfs1g|hawkeye|trident|trident-1gonly|trident-nc")
+		policyName   = flag.String("policy", "trident", "policy: "+strings.Join(trident.PolicyNames(), "|"))
+		storeURL     = flag.String("store", "", `persistent result store ("fs:<dir>" or "mem:"): serve the result from the store if present, else run and publish it`)
 		fragmentFlag = flag.Bool("fragment", false, "pre-fragment physical memory (FMFI ≈ 0.95)")
 		virtFlag     = flag.Bool("virt", false, "run inside a VM (two-level translation)")
 		hostPolicy   = flag.String("hostpolicy", "", "hypervisor policy for -virt (default: same as -policy)")
@@ -68,9 +60,9 @@ func main() {
 	if !ok {
 		fatalf("unknown workload %q (use -list)", *workloadName)
 	}
-	policy, ok := policies[strings.ToLower(*policyName)]
+	policy, ok := trident.PolicyByName(*policyName)
 	if !ok {
-		fatalf("unknown policy %q", *policyName)
+		fatalf("unknown policy %q (valid: %s)", *policyName, strings.Join(trident.PolicyNames(), ", "))
 	}
 	cfg := trident.Config{
 		Workload: w,
@@ -85,7 +77,7 @@ func main() {
 		cfg.Virtualized = true
 		cfg.HostPolicy = policy
 		if *hostPolicy != "" {
-			hp, ok := policies[strings.ToLower(*hostPolicy)]
+			hp, ok := trident.PolicyByName(*hostPolicy)
 			if !ok {
 				fatalf("unknown host policy %q", *hostPolicy)
 			}
@@ -95,6 +87,27 @@ func main() {
 		cfg.KhugepagedBudgetFrac = *budget
 	} else if *pvFlag {
 		fatalf("-pv requires -virt")
+	}
+
+	// The persistent store serves a previously-published result for this
+	// exact configuration (the fingerprint ignores observability knobs, so
+	// a served result skips -trace/-series capture).
+	var st *store.Store
+	fp := trident.Fingerprint(cfg)
+	if *storeURL != "" {
+		var err error
+		if st, err = store.Open(*storeURL); err != nil {
+			fatalf("opening store: %v", err)
+		}
+		defer st.Close()
+		if data, err := st.Get(fp); err == nil {
+			var res trident.Result
+			if err := json.Unmarshal(data, &res); err == nil {
+				fmt.Printf("(served from store %s, entry %s...)\n\n", *storeURL, fp[:12])
+				printResult(&res)
+				return
+			}
+		}
 	}
 
 	var ob *obs.Observer
@@ -108,6 +121,16 @@ func main() {
 		fatalf("run failed: %v", err)
 	}
 	printResult(res)
+
+	if st != nil {
+		if data, err := json.Marshal(res); err == nil {
+			if err := st.Put(fp, data); err != nil {
+				slog.Warn("result computed but not published to the store", "err", err)
+			} else {
+				fmt.Printf("\npublished to store %s (entry %s...)\n", *storeURL, fp[:12])
+			}
+		}
+	}
 
 	if ob != nil {
 		ob.Flush(cfg.Obs)

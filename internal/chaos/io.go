@@ -1,0 +1,122 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// The IO fault class injects storage failures into the persistent result
+// store (internal/store): torn writes that a crash would leave behind,
+// ENOSPC-style write refusals, and EIO-style read errors. Like the machine
+// fault classes above, injection is seed-driven — a (seed, rates) pair
+// reproduces the exact same fault schedule on every run — so the store's
+// retry/backoff behaviour under faults is as deterministic as an ordinary
+// run. The IO class deliberately has its own Config/Stats pair instead of
+// extending chaos.Config: machine chaos is part of the memo key (it changes
+// what a simulation computes), while IO chaos only perturbs how results are
+// persisted and must never influence a Result.
+
+// Injected IO errors. The store's filesystem driver wraps them as transient
+// (store.ErrTransient), so they surface as deterministic retries — never as
+// report differences.
+var (
+	// ErrInjectedWrite stands in for ENOSPC: the write is refused whole.
+	ErrInjectedWrite = errors.New("chaos: injected write error (ENOSPC)")
+	// ErrInjectedRead stands in for EIO: the read fails after open.
+	ErrInjectedRead = errors.New("chaos: injected read error (EIO)")
+)
+
+// IOConfig selects which store IO faults to inject and how often. Rates are
+// probabilities in [0, 1] applied independently at each physical IO.
+type IOConfig struct {
+	// Seed drives the injection schedule (0 is remapped to 1 so a zero
+	// value is still deterministic).
+	Seed uint64
+	// ShortWriteRate truncates a write to a strict prefix and then reports
+	// success — the torn entry a power loss mid-write would leave. The
+	// store's checksum envelope must catch it on the next read.
+	ShortWriteRate float64
+	// WriteErrRate fails a write outright with ErrInjectedWrite (ENOSPC).
+	WriteErrRate float64
+	// ReadErrRate fails a read with ErrInjectedRead (EIO).
+	ReadErrRate float64
+}
+
+// Enabled reports whether any IO injection can fire.
+func (c IOConfig) Enabled() bool {
+	return c.ShortWriteRate > 0 || c.WriteErrRate > 0 || c.ReadErrRate > 0
+}
+
+// IOStats counts IO decision points and injections by kind.
+type IOStats struct {
+	Decisions   uint64
+	ShortWrites uint64
+	WriteErrs   uint64
+	ReadErrs    uint64
+}
+
+// Total returns injections across all IO kinds.
+func (s *IOStats) Total() uint64 { return s.ShortWrites + s.WriteErrs + s.ReadErrs }
+
+// String implements fmt.Stringer for log lines.
+func (s *IOStats) String() string {
+	return fmt.Sprintf("io{decisions=%d short=%d werr=%d rerr=%d}",
+		s.Decisions, s.ShortWrites, s.WriteErrs, s.ReadErrs)
+}
+
+// IOInjector is a live store-IO fault injector. It satisfies the
+// store.FaultInjector interface by shape (the store package defines the
+// interface; neither package imports the other — the layering table forbids
+// store → chaos). It is not safe for concurrent use on its own; the store
+// serializes fault decisions under its driver lock.
+type IOInjector struct {
+	cfg IOConfig
+	rng *xrand.Rand
+	S   IOStats
+}
+
+// NewIO creates an IO injector for cfg.
+func NewIO(cfg IOConfig) *IOInjector {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &IOInjector{cfg: cfg, rng: xrand.New(seed ^ 0x10fa17)}
+}
+
+func (i *IOInjector) decide(rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	i.S.Decisions++
+	return i.rng.Bool(rate)
+}
+
+// WriteFault is consulted once per physical write of n bytes. It returns
+// how many bytes the "disk" will actually keep (keep < n models a torn
+// write that still reports success) and, separately, a hard write error.
+// With no injection it returns (n, nil).
+func (i *IOInjector) WriteFault(n int) (keep int, err error) {
+	if i.decide(i.cfg.WriteErrRate) {
+		i.S.WriteErrs++
+		return 0, ErrInjectedWrite
+	}
+	if n > 0 && i.decide(i.cfg.ShortWriteRate) {
+		i.S.ShortWrites++
+		// Keep a strict prefix; the cut point is drawn so both "lost the
+		// tail of the payload" and "lost almost everything" occur.
+		return int(i.rng.Uint64n(uint64(n))), nil
+	}
+	return n, nil
+}
+
+// ReadFault is consulted once per physical read; a non-nil error fails it.
+func (i *IOInjector) ReadFault() error {
+	if i.decide(i.cfg.ReadErrRate) {
+		i.S.ReadErrs++
+		return ErrInjectedRead
+	}
+	return nil
+}

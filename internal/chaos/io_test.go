@@ -1,0 +1,72 @@
+package chaos
+
+import "testing"
+
+// TestIODeterministicSchedule: the same (seed, rates) pair must reproduce
+// the exact same fault schedule — byte for byte, kind for kind.
+func TestIODeterministicSchedule(t *testing.T) {
+	cfg := IOConfig{Seed: 42, ShortWriteRate: 0.3, WriteErrRate: 0.2, ReadErrRate: 0.25}
+	type event struct {
+		keep int
+		werr bool
+		rerr bool
+	}
+	run := func() []event {
+		inj := NewIO(cfg)
+		var evs []event
+		for i := 0; i < 500; i++ {
+			keep, err := inj.WriteFault(1000)
+			evs = append(evs, event{keep: keep, werr: err != nil, rerr: inj.ReadFault() != nil})
+		}
+		return evs
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule diverged at IO %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestIOAllKindsFire: with nonzero rates every fault kind must actually
+// occur, short writes must keep a strict prefix, and the stats must add up.
+func TestIOAllKindsFire(t *testing.T) {
+	inj := NewIO(IOConfig{Seed: 7, ShortWriteRate: 0.2, WriteErrRate: 0.2, ReadErrRate: 0.2})
+	for i := 0; i < 2000; i++ {
+		keep, err := inj.WriteFault(64)
+		if err == nil && (keep < 0 || keep > 64) {
+			t.Fatalf("WriteFault keep = %d out of range [0, 64]", keep)
+		}
+		if err != nil && keep != 0 {
+			t.Fatalf("failed write must keep nothing, got keep=%d", keep)
+		}
+		_ = inj.ReadFault()
+	}
+	if inj.S.ShortWrites == 0 || inj.S.WriteErrs == 0 || inj.S.ReadErrs == 0 {
+		t.Fatalf("not every fault kind fired: %s", inj.S.String())
+	}
+	if inj.S.Total() != inj.S.ShortWrites+inj.S.WriteErrs+inj.S.ReadErrs {
+		t.Fatalf("Total() inconsistent: %s", inj.S.String())
+	}
+}
+
+// TestIODisabled: zero rates must never draw a decision, so a disabled
+// injector is bit-identical to none at all.
+func TestIODisabled(t *testing.T) {
+	var cfg IOConfig
+	if cfg.Enabled() {
+		t.Fatal("zero IOConfig reports Enabled")
+	}
+	inj := NewIO(cfg)
+	for i := 0; i < 100; i++ {
+		if keep, err := inj.WriteFault(10); keep != 10 || err != nil {
+			t.Fatalf("disabled injector altered a write: keep=%d err=%v", keep, err)
+		}
+		if err := inj.ReadFault(); err != nil {
+			t.Fatalf("disabled injector failed a read: %v", err)
+		}
+	}
+	if inj.S.Decisions != 0 {
+		t.Fatalf("disabled injector drew %d decisions, want 0", inj.S.Decisions)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/tlb"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -52,6 +53,14 @@ type Settings struct {
 	// Checkpoint, when non-empty, is the runner's journal directory:
 	// completed results are saved there and reloaded on a resumed run.
 	Checkpoint string
+	// Store, when non-nil, is the persistent result store: a third memo
+	// tier behind the in-process cache and the checkpoint journal. Results
+	// computed here are published to it, and results another process (or a
+	// previous run of this one) published are reloaded instead of
+	// recomputed — byte-identically, keyed by the same fingerprint as the
+	// journal. Store IO failures degrade to recomputation, never to
+	// different results (cmd/experiments wires its -store flag here).
+	Store *store.Store
 	// Failures, when non-nil, collects failed jobs so the driver finishes
 	// its table with the rows that did complete. When nil, the first
 	// failure panics (the pre-Report fail-fast behavior benchmarks and
@@ -146,6 +155,7 @@ func (s Settings) run(label string, jobs []runner.Job) {
 		Context:     s.Ctx,
 		JobTimeout:  s.Timeout,
 		Checkpoint:  s.Checkpoint,
+		Store:       s.Store,
 		Obs:         ob,
 	})
 	if err := ob.Close(); err != nil {

@@ -46,6 +46,21 @@ var layerRules = []LayerRule{
 		Deny: []string{"..."},
 		Why:  "leaf package: must not import anything module-internal",
 	},
+	{
+		From: []string{"internal/store"},
+		Deny: simulatedPackages,
+		Why:  "the result store is a dumb durability backend (drivers, not rewrites); reaching into the simulated machine would couple storage formats to machine internals — faults are injected through store.FaultInjector, implemented by shape elsewhere",
+	},
+	{
+		From: []string{"internal/store"},
+		Deny: []string{"internal/runner", "internal/service", "internal/experiments", "cmd/..."},
+		Why:  "the store sits below the engine: the runner and service call into it, never the reverse",
+	},
+	{
+		From: []string{"internal/service"},
+		Deny: []string{"internal/experiments", "cmd/..."},
+		Why:  "the sweep service drives the runner directly; the figure drivers and commands sit above it",
+	},
 }
 
 // matchLayer reports whether rel matches a rule pattern.

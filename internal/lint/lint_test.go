@@ -37,6 +37,8 @@ func TestBadFixtureFindings(t *testing.T) {
 		{"memokey", "internal/runner/runner.go", `MemoKeyExclusions entry "Obs" matches no exported sim.Config field`},
 		{"memokey", "internal/runner/runner.go", "sim.Config.Shape is fingerprinted by cacheKey AND listed in MemoKeyExclusions"},
 		{"layering", "internal/sim/sim.go", "internal/sim must not import internal/runner"},
+		{"layering", "internal/store/fs.go", "internal/store must not import internal/sim"},
+		{"layering", "internal/service/service.go", "internal/service must not import internal/experiments"},
 		{"memokey", "internal/sim/sim.go", "sim.Config.Extra is neither fingerprinted"},
 		{"wallclock", "internal/sim/sim.go", "time.Now in simulated-world package internal/sim"},
 		{"maporder", "internal/sim/sim.go", "fmt.Println inside range over map"},

@@ -1,0 +1,6 @@
+// Package experiments is scaffolding for the service-layering violation:
+// it only exists so bad/internal/service has a figure driver to import.
+package experiments
+
+// Quick mirrors the real package's scale preset.
+const Quick = 1

@@ -1,0 +1,8 @@
+// Package service seeds the service-layering violation: the sweep service
+// reaching up into the figure drivers that sit above it.
+package service
+
+import "bad/internal/experiments"
+
+// Scale reaches into a driver preset — the upward edge the rule forbids.
+const Scale = experiments.Quick

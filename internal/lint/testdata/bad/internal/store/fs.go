@@ -1,0 +1,13 @@
+// Package store seeds the storage-layering violation: a durability
+// backend importing the simulated machine. The real internal/store gets
+// its fault injection through the FaultInjector interface precisely so
+// this edge never exists.
+package store
+
+import "bad/internal/sim"
+
+// Entry leaks a machine type into the storage format — the coupling the
+// layering rule forbids.
+type Entry struct {
+	Cfg sim.Config
+}

@@ -1,0 +1,14 @@
+// Package service is the clean twin of the sweep service: it may import
+// the engine below it (runner) and the storage backend — the allowed
+// downward edges.
+package service
+
+import (
+	"good/internal/runner"
+	"good/internal/store"
+)
+
+var (
+	_ = runner.MemoKeyExclusions
+	_ store.Driver
+)

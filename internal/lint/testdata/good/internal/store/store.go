@@ -1,0 +1,9 @@
+// Package store is the clean twin of the storage layer: a backend that
+// imports nothing above it and nothing from the simulated machine.
+package store
+
+// Driver is the backend seam (drivers, not rewrites).
+type Driver interface {
+	Put(key string, data []byte) error
+	Get(key string) ([]byte, error)
+}

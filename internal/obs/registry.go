@@ -182,8 +182,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return err
 }
 
-// ServeHTTP implements http.Handler, serving the text exposition.
-func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+// ServeHTTP implements http.Handler, serving the text exposition. A
+// request whose context is already cancelled (client hung up between
+// accept and dispatch) is skipped: collectors walk live state and there
+// is no one left to read the result.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req.Context().Err() != nil {
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = r.WritePrometheus(w)
 }

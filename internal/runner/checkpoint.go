@@ -1,15 +1,16 @@
 package runner
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sync"
 
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 // checkpoint journals completed simulator results to a directory, one JSON
@@ -23,6 +24,13 @@ import (
 // sim.Result round-trips losslessly through JSON (exported value fields
 // only; Go prints float64s in shortest-exact form), so a table built from
 // reloaded results is byte-identical to one built from live runs.
+//
+// Durability: saves go through store.WriteFileAtomic — tmp + fsync + rename
+// + parent-directory fsync — so a journal entry survives power loss, not
+// just process death. A load that finds a torn or unreadable entry (the
+// crash being recovered from hit mid-write, before this discipline, or the
+// disk rotted) reports it as a structured note: the caller skips the entry
+// and re-executes that one configuration instead of aborting the resume.
 type checkpoint struct {
 	dir     string
 	mkdir   sync.Once
@@ -30,30 +38,35 @@ type checkpoint struct {
 }
 
 func (c *checkpoint) path(key cacheKey) string {
-	sum := sha256.Sum256([]byte(fmt.Sprintf("%#v", key)))
-	return filepath.Join(c.dir, hex.EncodeToString(sum[:])+".json")
+	return filepath.Join(c.dir, fingerprintKey(key)+".json")
 }
 
-// load returns the journaled result for key, or ok=false if none exists. A
-// file that fails to decode — a write torn by the crash being recovered
-// from — is treated as absent, so the experiment is recomputed rather than
-// resumed wrong. (save writes via rename, so torn files are unexpected; the
-// decode check is the backstop.)
-func (c *checkpoint) load(key cacheKey) (*sim.Result, bool) {
-	data, err := os.ReadFile(c.path(key))
-	if err != nil {
-		return nil, false
+// load returns the journaled result for key. (nil, nil) means no entry —
+// the config was never journaled and must be computed. A non-nil error
+// means a corrupt or unreadable entry: the caller records it (as a
+// Report.Notes entry) and recomputes rather than resuming wrong or
+// aborting the whole resume.
+func (c *checkpoint) load(key cacheKey) (*sim.Result, error) {
+	path := c.path(key)
+	data, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		return nil, nil
+	case err != nil:
+		return nil, fmt.Errorf("runner: checkpoint entry %s unreadable: %w", filepath.Base(path), err)
 	}
 	var res sim.Result
 	if err := json.Unmarshal(data, &res); err != nil {
-		return nil, false
+		return nil, fmt.Errorf("runner: checkpoint entry %s corrupt (truncated by the crash being resumed?): %w; recomputing",
+			filepath.Base(path), err)
 	}
-	return &res, true
+	return &res, nil
 }
 
-// save journals res under key, atomically: the JSON is written to a
-// temporary file and renamed into place, so a crash mid-save leaves either
-// the complete file or nothing.
+// save journals res under key durably: the JSON is written to a temporary
+// file, fsynced, renamed into place, and the parent directory is fsynced so
+// the rename itself survives power loss. A crash at any point leaves either
+// the complete entry or nothing readable.
 func (c *checkpoint) save(key cacheKey, res *sim.Result) error {
 	c.mkdir.Do(func() { c.mkdirOK = os.MkdirAll(c.dir, 0o755) })
 	if c.mkdirOK != nil {
@@ -63,13 +76,8 @@ func (c *checkpoint) save(key cacheKey, res *sim.Result) error {
 	if err != nil {
 		return fmt.Errorf("runner: checkpoint encode: %w", err)
 	}
-	path := c.path(key)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := store.WriteFileAtomic(c.path(key), data); err != nil {
 		return fmt.Errorf("runner: checkpoint write: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		return fmt.Errorf("runner: checkpoint publish: %w", err)
 	}
 	return nil
 }

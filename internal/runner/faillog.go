@@ -9,15 +9,17 @@ import "sync"
 type FailureLog struct {
 	mu    sync.Mutex
 	fails []Failure
+	notes []Failure
 }
 
-// Add appends a report's failures.
+// Add appends a report's failures and durability notes.
 func (l *FailureLog) Add(rep *Report) {
-	if rep.OK() {
+	if rep.OK() && len(rep.Notes) == 0 {
 		return
 	}
 	l.mu.Lock()
 	l.fails = append(l.fails, rep.Failures...)
+	l.notes = append(l.notes, rep.Notes...)
 	l.mu.Unlock()
 }
 
@@ -28,9 +30,20 @@ func (l *FailureLog) All() []Failure {
 	return append([]Failure(nil), l.fails...)
 }
 
-// Empty reports whether nothing failed.
+// Empty reports whether nothing failed (durability notes do not count —
+// the runs they annotate delivered correct results).
 func (l *FailureLog) Empty() bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return len(l.fails) == 0
+}
+
+// Notes returns the accumulated durability notes in insertion order:
+// corrupt checkpoint/store entries that were skipped and re-executed, and
+// store writes that exhausted their retry budget. They never fail a run,
+// but a command should surface them — each one is a disk misbehaving.
+func (l *FailureLog) Notes() []Failure {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Failure(nil), l.notes...)
 }

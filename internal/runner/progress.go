@@ -20,10 +20,12 @@ type ExperimentProgress struct {
 	Running int `json:"running"`
 	Done    int `json:"done"`
 	Failed  int `json:"failed"`
-	// CacheHits / Resumed count jobs served from the memo cache or the
-	// checkpoint journal instead of executed.
+	// CacheHits / Resumed / StoreHits count jobs served from the memo
+	// cache, the checkpoint journal or the persistent result store instead
+	// of executed.
 	CacheHits int `json:"cache_hits"`
 	Resumed   int `json:"checkpoint_resumed"`
+	StoreHits int `json:"store_hits"`
 	// Active reports whether an Execute batch with this label is running.
 	Active bool `json:"active"`
 	// WallMs is total batch wall time; PhaseWallMs breaks the executed
@@ -101,6 +103,9 @@ func (t *tracker) jobFinished(r *jobResult) {
 	}
 	if r.resumed {
 		t.p.Resumed++
+	}
+	if r.fromStore {
+		t.p.StoreHits++
 	}
 	for phase, ms := range r.phaseWall {
 		t.p.PhaseWallMs[phase] += ms

@@ -39,6 +39,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/tlb"
 	"repro/internal/workload"
 )
@@ -104,6 +105,16 @@ type Options struct {
 	// The directory must be cleared when the simulator changes; the
 	// journal records results, not the code that produced them.
 	Checkpoint string
+	// Store, when non-nil, is the persistent content-addressed result
+	// store (internal/store): completed simulator results are published
+	// under their memo fingerprint and reloaded on later Execute calls —
+	// across process restarts and across concurrent processes sharing a
+	// backend. It composes with Checkpoint as a third memo tier (memory →
+	// journal → store). Store trouble never fails a job: corrupt entries
+	// are quarantined and recomputed, write failures degrade to
+	// Report.Notes records. Like the journal, the store must be cleared
+	// when the simulator changes.
+	Store *store.Store
 
 	// Obs, when non-nil, attaches a per-run observability recorder
 	// (internal/obs) to every simulator job and registers completed runs
@@ -172,6 +183,13 @@ type Report struct {
 	// Failures lists the jobs that did not deliver, in submission order.
 	// Empty means every callback ran.
 	Failures []Failure
+	// Notes lists durability incidents that did NOT prevent delivery, in
+	// submission order: a corrupt checkpoint entry skipped and re-executed
+	// on resume, a quarantined store entry recomputed, a store write whose
+	// retry budget ran out. Phase is "durability". They never affect OK()
+	// — the results themselves are correct — but operators should see
+	// them: each one is a disk lying.
+	Notes []Failure
 }
 
 // OK reports whether every job delivered.
@@ -261,6 +279,12 @@ func Execute(jobs []Job, opts Options) *Report {
 	for i := range jobs {
 		j := &jobs[i]
 		r := &results[i]
+		if r.note != nil {
+			// Durability incident that did not stop the job (corrupt
+			// journal/store entry recomputed, store write degraded).
+			rep.Notes = append(rep.Notes, Failure{Index: i, Experiment: opts.Label,
+				Name: jobName(j), Phase: "durability", Err: r.note, Cfg: j.Cfg})
+		}
 		switch {
 		case r.panicked != nil:
 			rep.fail(Failure{Index: i, Experiment: opts.Label, Name: jobName(j),
@@ -296,8 +320,10 @@ type jobResult struct {
 	panicked  any
 	stack     string
 	skipped   bool
-	cached    bool // served from the in-process memo cache
-	resumed   bool // reloaded from the checkpoint journal
+	cached    bool  // served from the in-process memo cache
+	resumed   bool  // reloaded from the checkpoint journal
+	fromStore bool  // reloaded from the persistent result store
+	note      error // durability incident that did not stop the job
 	obs       *obs.Run
 	phaseWall map[string]float64 // wall ms per sim phase (executed jobs only)
 	wallMs    float64
@@ -388,9 +414,11 @@ func runJob(ctx context.Context, j *Job, r *jobResult, opts Options, ckpt *check
 		}
 	}
 	cfg.Obs = orun
-	res, src, e := cachedRun(ctx, cfg, opts.NoCache, ckpt)
+	res, src, note, e := cachedRun(ctx, cfg, opts.NoCache, ckpt, opts.Store)
 	r.cached = src == srcHit
 	r.resumed = src == srcResumed
+	r.fromStore = src == srcStore
+	r.note = note
 	r.obs = orun
 	r.out, r.err = res, e
 }
@@ -464,40 +492,62 @@ func keyOf(cfg sim.Config) cacheKey {
 }
 
 // runSource says how cachedRun satisfied a call: by executing the
-// simulation, by serving a memoized result, or by reloading a checkpoint.
+// simulation, by serving a memoized result, by reloading a checkpoint, or
+// by reloading an entry from the persistent result store.
 type runSource int
 
 const (
 	srcExecuted runSource = iota
 	srcHit
 	srcResumed
+	srcStore
 )
 
 // entry is one single-flight cache slot: the first arrival computes under
 // once; latecomers block on once.Do and read the stored outcome.
 type entry struct {
-	once     sync.Once
-	res      *sim.Result
-	err      error
-	panicked any
-	fromCkpt bool
+	once      sync.Once
+	res       *sim.Result
+	err       error
+	note      error // durability incident recorded by the computing arrival
+	panicked  any
+	fromCkpt  bool
+	fromStore bool
 }
 
 var (
-	cacheMu sync.Mutex
-	cache   = map[cacheKey]*entry{}
-	hits    atomic.Uint64
-	misses  atomic.Uint64
-	resumed atomic.Uint64
+	cacheMu   sync.Mutex
+	cache     = map[cacheKey]*entry{}
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	resumed   atomic.Uint64
+	storeHits atomic.Uint64
 )
 
-// cachedRun executes cfg through the memo cache. Results are shared across
-// callers and must be treated as immutable (sim.Result is plain measured
-// data; drivers only read it).
-func cachedRun(ctx context.Context, cfg sim.Config, noCache bool, ckpt *checkpoint) (*sim.Result, runSource, error) {
+// joinNotes chains durability notes so one job can report both a corrupt
+// checkpoint entry and, say, a failed store write.
+func joinNotes(a, b error) error {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	default:
+		return fmt.Errorf("%w; %w", a, b)
+	}
+}
+
+// cachedRun executes cfg through the memo cache tiers: in-process map →
+// checkpoint journal → persistent store → sim.RunContext. Results are
+// shared across callers and must be treated as immutable (sim.Result is
+// plain measured data; drivers only read it). The note return carries
+// durability incidents that did not prevent the job (corrupt entries
+// recomputed, store writes degraded); it is non-nil only for the arrival
+// that performed the work (single-flight latecomers report nothing).
+func cachedRun(ctx context.Context, cfg sim.Config, noCache bool, ckpt *checkpoint, st *store.Store) (*sim.Result, runSource, error, error) {
 	if noCache || cfg.Workload == nil {
 		res, err := sim.RunContext(ctx, cfg)
-		return res, srcExecuted, err
+		return res, srcExecuted, nil, err
 	}
 	key := keyOf(cfg)
 	cacheMu.Lock()
@@ -517,10 +567,37 @@ func cachedRun(ctx context.Context, cfg sim.Config, noCache bool, ckpt *checkpoi
 			}
 		}()
 		if ckpt != nil {
-			if res, ok := ckpt.load(key); ok {
+			res, lerr := ckpt.load(key)
+			if lerr != nil {
+				// Torn or unreadable journal entry: skip it and re-execute
+				// this one configuration instead of aborting the resume.
+				e.note = joinNotes(e.note, lerr)
+			}
+			if res != nil {
 				resumed.Add(1)
 				e.res = res
 				e.fromCkpt = true
+				return
+			}
+		}
+		var fp string
+		if st != nil {
+			fp = fingerprintKey(key)
+			res, lerr := storeLoad(st, fp)
+			if lerr != nil {
+				e.note = joinNotes(e.note, lerr)
+			}
+			if res != nil {
+				storeHits.Add(1)
+				e.res = res
+				e.fromStore = true
+				if ckpt != nil {
+					// Seed the per-run journal too, so a later resume of
+					// this run replays without consulting the store.
+					if serr := ckpt.save(key, res); serr != nil {
+						e.note = joinNotes(e.note, serr)
+					}
+				}
 				return
 			}
 		}
@@ -528,6 +605,13 @@ func cachedRun(ctx context.Context, cfg sim.Config, noCache bool, ckpt *checkpoi
 		e.res, e.err = sim.RunContext(ctx, cfg)
 		if e.err == nil && ckpt != nil {
 			e.err = ckpt.save(key, e.res)
+		}
+		if e.err == nil && st != nil {
+			// Store trouble degrades durability, never correctness: the
+			// computed result is delivered either way.
+			if serr := storeSave(st, fp, e.res); serr != nil {
+				e.note = joinNotes(e.note, serr)
+			}
 		}
 	})
 	src := srcExecuted
@@ -537,6 +621,8 @@ func cachedRun(ctx context.Context, cfg sim.Config, noCache bool, ckpt *checkpoi
 		hits.Add(1)
 	case e.fromCkpt:
 		src = srcResumed
+	case e.fromStore:
+		src = srcStore
 	}
 	if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
 		// A cancelled run is an absence of a result, not a result: drop the
@@ -552,16 +638,22 @@ func cachedRun(ctx context.Context, cfg sim.Config, noCache bool, ckpt *checkpoi
 	if e.panicked != nil {
 		panic(e.panicked)
 	}
-	return e.res, src, e.err
+	var note error
+	if first {
+		note = e.note
+	}
+	return e.res, src, note, e.err
 }
 
 // CacheStats reports the memo cache's cumulative activity. Misses count
 // actual sim.Run executions through the cache; hits count runs served from
 // (or collapsed into) an existing entry; resumed counts runs reloaded from a
-// checkpoint journal instead of executed.
+// checkpoint journal, and StoreHits runs reloaded from the persistent
+// result store, instead of executed.
 type CacheStats struct {
 	Hits, Misses uint64
 	Resumed      uint64
+	StoreHits    uint64
 	Entries      int
 }
 
@@ -570,7 +662,8 @@ func Cache() CacheStats {
 	cacheMu.Lock()
 	n := len(cache)
 	cacheMu.Unlock()
-	return CacheStats{Hits: hits.Load(), Misses: misses.Load(), Resumed: resumed.Load(), Entries: n}
+	return CacheStats{Hits: hits.Load(), Misses: misses.Load(), Resumed: resumed.Load(),
+		StoreHits: storeHits.Load(), Entries: n}
 }
 
 // ResetCache drops all memoized results and zeroes the counters. Tests use
@@ -583,4 +676,5 @@ func ResetCache() {
 	hits.Store(0)
 	misses.Store(0)
 	resumed.Store(0)
+	storeHits.Store(0)
 }

@@ -1,0 +1,178 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// maxRequestBytes bounds a sweep submission body; a grid description is a
+// few hundred bytes, so 1 MiB is generous.
+const maxRequestBytes = 1 << 20
+
+// Handler returns the service's HTTP API:
+//
+//	POST /sweeps              submit (202 queued / 200 known / 429 + Retry-After / 503 draining)
+//	GET  /sweeps              list all sweeps
+//	GET  /sweeps/{id}         one sweep's status
+//	GET  /sweeps/{id}/report  the finished CSV report
+//	GET  /healthz             process liveness (always 200 while serving)
+//	GET  /readyz              admission readiness (503 once draining)
+//
+// Every handler honors the request context: a client that disconnects
+// mid-response stops the work. Mount alongside the observability
+// endpoints on the command's mux.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sweeps", s.handleSubmit)
+	mux.HandleFunc("GET /sweeps", s.handleList)
+	mux.HandleFunc("GET /sweeps/{id}", s.handleGet)
+	mux.HandleFunc("GET /sweeps/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the client hung up; nothing to do
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding sweep request: %w", err))
+		return
+	}
+	if r.Context().Err() != nil {
+		return // client gone before admission; don't enqueue on its behalf
+	}
+	sw, err := s.Submit(req)
+	switch {
+	case err == nil:
+		code := http.StatusAccepted
+		if sw.State != StateQueued {
+			code = http.StatusOK // idempotent resubmission of a known sweep
+		}
+		writeJSON(w, code, sw)
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClientBusy):
+		// Backpressure: tell the client when the queue plausibly has room.
+		w.Header().Set("Retry-After", strconv.Itoa(max(1, s.QueueDepth())))
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	if r.Context().Err() != nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.List())
+}
+
+func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
+	if r.Context().Err() != nil {
+		return
+	}
+	sw, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown sweep"))
+		return
+	}
+	writeJSON(w, http.StatusOK, sw)
+}
+
+func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
+	if r.Context().Err() != nil {
+		return
+	}
+	id := r.PathValue("id")
+	sw, ok := s.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown sweep"))
+		return
+	}
+	if sw.State != StateDone {
+		writeError(w, http.StatusConflict, fmt.Errorf("sweep is %s, report not ready", sw.State))
+		return
+	}
+	data, err := os.ReadFile(s.ReportPath(id))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("reading report: %w", err))
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	w.Write(data) //nolint:errcheck // client hangup
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz flips to 503 once the service is draining, so a fronting
+// balancer stops routing submissions while in-flight work finishes.
+func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// RegisterMetrics exposes queue and store health on an obs registry.
+func (s *Service) RegisterMetrics(reg *obs.Registry) {
+	reg.GaugeFunc("trident_service_queue_depth", "sweeps waiting to run", func() float64 {
+		return float64(s.QueueDepth())
+	})
+	reg.GaugeFunc("trident_service_sweeps_admitted_total", "sweep submissions admitted", func() float64 {
+		return float64(s.admitted.Load())
+	})
+	reg.GaugeFunc("trident_service_sweeps_rejected_total", "sweep submissions rejected by admission control", func() float64 {
+		return float64(s.rejected.Load())
+	})
+	reg.GaugeFunc("trident_service_sweep_retries_total", "sweep re-executions after transient failures", func() float64 {
+		return float64(s.retried.Load())
+	})
+	reg.GaugeFunc("trident_service_durability_notes_total", "corrupt-entry and lost-write incidents absorbed", func() float64 {
+		return float64(s.notes.Load())
+	})
+	reg.GaugeFunc("trident_service_sweeps_by_state", "sweeps currently known (all states)", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.sweeps))
+	})
+	if st := s.cfg.Store; st != nil {
+		reg.GaugeFunc("trident_store_hits_total", "result-store read hits", func() float64 {
+			return float64(st.Stats().Hits)
+		})
+		reg.GaugeFunc("trident_store_misses_total", "result-store read misses", func() float64 {
+			return float64(st.Stats().Misses)
+		})
+		reg.GaugeFunc("trident_store_corrupt_total", "result-store entries quarantined by checksum", func() float64 {
+			return float64(st.Stats().Corrupt)
+		})
+		reg.GaugeFunc("trident_store_retries_total", "result-store transient-fault retries", func() float64 {
+			return float64(st.Stats().Retries)
+		})
+	}
+}

@@ -1,0 +1,659 @@
+// Package service is the long-running sweep service: a job queue over the
+// experiment engine that accepts sweep submissions (a workloads × policies
+// grid), executes them through the runner with the persistent result store
+// as a shared memo tier, and survives crashes — every accepted submission
+// is durably journaled before it is acknowledged, every completed
+// simulation is checkpointed and published to the store, and a restarted
+// service resumes unfinished sweeps to byte-identical reports.
+//
+// Failure behavior is the point (DESIGN.md §9):
+//
+//   - Admission control: the queue is bounded globally and per client;
+//     rejected submissions get 429 + Retry-After (backpressure), never
+//     silent drops. Dequeue is round-robin across clients, so one noisy
+//     tenant cannot starve the rest.
+//   - Retry with deterministic capped exponential backoff: a sweep whose
+//     failures look transient is re-executed up to MaxRetries times; the
+//     backoff schedule is a pure function of (seed, sweep id, attempt), so
+//     a chaos-injected failure schedule reproduces the same retry timeline
+//     on every run. Completed simulations replay from the checkpoint
+//     journal, so a retry recomputes only what actually failed.
+//   - Deadline budgets: each sweep runs under a deadline (its own or the
+//     service default); past it, remaining jobs are cancelled and the
+//     sweep fails with the deadline recorded — it is not retried.
+//   - Graceful drain: cancelling the Run context stops admission
+//     (submissions get 503), interrupts the in-flight sweep at its next
+//     batch boundary (completed sims are already checkpointed), flushes
+//     the store, and returns — the caller then exits 0. A later start
+//     with Resume picks every unfinished sweep back up.
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/store"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// SweepRequest is one submission: the (workloads × policies) grid to
+// simulate and its scale parameters. The zero value of every scale field
+// resolves to the sim package's default.
+type SweepRequest struct {
+	// Client identifies the submitter for fairness accounting; empty is
+	// the anonymous client.
+	Client string `json:"client,omitempty"`
+	// Workloads and Policies span the grid; both must be non-empty.
+	// Workload names are Table-2 names ("GUPS", "Redis", ...); policy
+	// names are the CLI names (sim.PolicyNames).
+	Workloads []string `json:"workloads"`
+	Policies  []string `json:"policies"`
+
+	MemGB    uint64  `json:"mem_gb,omitempty"`
+	Scale    float64 `json:"scale,omitempty"`
+	Accesses int     `json:"accesses,omitempty"`
+	// Seed 0 resolves to sim.DefaultSeed.
+	Seed     uint64 `json:"seed,omitempty"`
+	Fragment bool   `json:"fragment,omitempty"`
+
+	// DeadlineMs bounds the whole sweep; 0 uses the service default.
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+}
+
+// Sweep states.
+const (
+	StateQueued      = "queued"
+	StateRunning     = "running"
+	StateDone        = "done"
+	StateFailed      = "failed"
+	StateInterrupted = "interrupted" // drained mid-run; resumes on restart
+)
+
+// Sweep is a point-in-time status snapshot.
+type Sweep struct {
+	ID     string       `json:"id"`
+	Client string       `json:"client,omitempty"`
+	State  string       `json:"state"`
+	Req    SweepRequest `json:"request"`
+	// Jobs is the grid size; Completed counts simulations whose results
+	// are journaled in this sweep's checkpoint (it survives restarts).
+	Jobs      int `json:"jobs"`
+	Completed int `json:"completed"`
+	// Attempts counts executions including retries.
+	Attempts int    `json:"attempts,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// Admission errors. The HTTP layer maps them to status codes.
+var (
+	// ErrDraining: the service is shutting down; nothing new is admitted.
+	ErrDraining = errors.New("service: draining, not accepting submissions")
+	// ErrQueueFull: global backpressure; retry after the queue drains.
+	ErrQueueFull = errors.New("service: sweep queue full")
+	// ErrClientBusy: per-client fairness cap; this client must wait.
+	ErrClientBusy = errors.New("service: too many queued sweeps for this client")
+)
+
+// Config tunes a Service.
+type Config struct {
+	// Dir is the service root: <Dir>/sweeps/<id>/{request.json,
+	// checkpoint/, report.csv}. Required.
+	Dir string
+	// Store, when non-nil, is the shared persistent result store.
+	Store *store.Store
+	// QueueLimit bounds queued sweeps globally (default 16);
+	// PerClientLimit bounds them per client (default 4).
+	QueueLimit     int
+	PerClientLimit int
+	// Parallelism is the runner worker-pool size per sweep.
+	Parallelism int
+	// JobTimeout bounds each simulation job; 0 = none.
+	JobTimeout time.Duration
+	// DefaultDeadline bounds a sweep that did not bring its own
+	// (default 10 minutes).
+	DefaultDeadline time.Duration
+	// MaxRetries is how many times a transiently-failed sweep is re-run
+	// (default 2). Retries replay finished sims from the checkpoint.
+	MaxRetries int
+	// RetrySeed, BackoffBase and BackoffCap pin the deterministic backoff
+	// schedule (defaults 1, 50ms, 2s).
+	RetrySeed   uint64
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// Resume rescans Dir for unfinished sweeps and re-enqueues them;
+	// without it the sweep area is cleared at startup, mirroring the
+	// -resume contract of cmd/experiments.
+	Resume bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueLimit <= 0 {
+		c.QueueLimit = 16
+	}
+	if c.PerClientLimit <= 0 {
+		c.PerClientLimit = 4
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 10 * time.Minute
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	} else if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.RetrySeed == 0 {
+		c.RetrySeed = 1
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 50 * time.Millisecond
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = 2 * time.Second
+	}
+	return c
+}
+
+// sweep is the internal mutable record behind a Sweep snapshot.
+type sweep struct {
+	id       string
+	req      SweepRequest
+	state    string
+	jobs     int
+	attempts int
+	err      string
+}
+
+// Service is the sweep service. Create with New, serve HTTP via Handler,
+// process with Run; cancel Run's context to drain.
+type Service struct {
+	cfg   Config
+	sleep func(time.Duration) // test seam for retry backoff
+
+	mu       sync.Mutex
+	sweeps   map[string]*sweep
+	queues   map[string][]string // client → queued sweep ids, FIFO
+	clients  []string            // round-robin ring of clients ever seen
+	rrNext   int
+	queuedN  int
+	draining bool
+	wake     chan struct{}
+
+	admitted    atomic.Uint64
+	rejected    atomic.Uint64
+	retried     atomic.Uint64
+	notes       atomic.Uint64
+	interrupted atomic.Uint64
+}
+
+// New creates the service, clearing or rescanning cfg.Dir per cfg.Resume.
+func New(cfg Config) (*Service, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("service: Config.Dir is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:    cfg,
+		sweeps: map[string]*sweep{},
+		queues: map[string][]string{},
+		wake:   make(chan struct{}, 1),
+	}
+	root := s.sweepsRoot()
+	if !cfg.Resume {
+		if err := os.RemoveAll(root); err != nil {
+			return nil, fmt.Errorf("service: clearing sweep area: %w", err)
+		}
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("service: init: %w", err)
+	}
+	if cfg.Resume {
+		if err := s.rescan(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (s *Service) sweepsRoot() string        { return filepath.Join(s.cfg.Dir, "sweeps") }
+func (s *Service) sweepDir(id string) string { return filepath.Join(s.sweepsRoot(), id) }
+
+// sweepID is the content address of a request: submitting the same sweep
+// twice yields the same id (and the second submission is a cheap idempotent
+// acknowledgement, not a duplicate execution).
+func sweepID(req SweepRequest) string {
+	canon, _ := json.Marshal(req) // struct field order is fixed; no maps
+	sum := sha256.Sum256(canon)
+	return hex.EncodeToString(sum[:8])
+}
+
+// validate resolves names early so a bad submission is a 400 at admission,
+// not a failed sweep later.
+func validate(req SweepRequest) error {
+	if len(req.Workloads) == 0 || len(req.Policies) == 0 {
+		return errors.New("service: a sweep needs at least one workload and one policy")
+	}
+	for _, w := range req.Workloads {
+		if _, ok := workload.ByName(w); !ok {
+			return fmt.Errorf("service: unknown workload %q", w)
+		}
+	}
+	for _, p := range req.Policies {
+		if _, ok := sim.PolicyByName(p); !ok {
+			return fmt.Errorf("service: unknown policy %q (valid: %s)", p, strings.Join(sim.PolicyNames(), ", "))
+		}
+	}
+	if req.Scale < 0 || req.DeadlineMs < 0 || req.Accesses < 0 {
+		return errors.New("service: negative scale, accesses or deadline")
+	}
+	return nil
+}
+
+// Submit admits one sweep. It returns the (possibly pre-existing) sweep
+// snapshot; the error, when non-nil, is ErrDraining, ErrQueueFull,
+// ErrClientBusy or a validation error.
+func (s *Service) Submit(req SweepRequest) (Sweep, error) {
+	if err := validate(req); err != nil {
+		return Sweep{}, err
+	}
+	id := sweepID(req)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sw, ok := s.sweeps[id]; ok {
+		// Idempotent resubmission. A failed or interrupted sweep is
+		// re-admitted (fresh retry budget); anything else just reports.
+		if sw.state != StateFailed && sw.state != StateInterrupted {
+			return s.snapshotLocked(sw), nil
+		}
+	}
+	if s.draining {
+		s.rejected.Add(1)
+		return Sweep{}, ErrDraining
+	}
+	if s.queuedN >= s.cfg.QueueLimit {
+		s.rejected.Add(1)
+		return Sweep{}, ErrQueueFull
+	}
+	if len(s.queues[req.Client]) >= s.cfg.PerClientLimit {
+		s.rejected.Add(1)
+		return Sweep{}, ErrClientBusy
+	}
+
+	sw, ok := s.sweeps[id]
+	if !ok {
+		sw = &sweep{id: id, req: req, jobs: len(req.Workloads) * len(req.Policies)}
+		// Durably journal the request before acknowledging: an accepted
+		// sweep survives a kill -9 one microsecond later.
+		dir := s.sweepDir(id)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return Sweep{}, fmt.Errorf("service: sweep dir: %w", err)
+		}
+		reqJSON, _ := json.Marshal(req)
+		if err := store.WriteFileAtomic(filepath.Join(dir, "request.json"), reqJSON); err != nil {
+			return Sweep{}, fmt.Errorf("service: journaling request: %w", err)
+		}
+		s.sweeps[id] = sw
+	}
+	s.enqueueLocked(sw)
+	s.admitted.Add(1)
+	return s.snapshotLocked(sw), nil
+}
+
+func (s *Service) enqueueLocked(sw *sweep) {
+	sw.state = StateQueued
+	sw.err = ""
+	client := sw.req.Client
+	if _, seen := s.queues[client]; !seen {
+		s.clients = append(s.clients, client)
+	}
+	s.queues[client] = append(s.queues[client], sw.id)
+	s.queuedN++
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// next dequeues round-robin across clients, so interleaved tenants make
+// interleaved progress regardless of submission bursts.
+func (s *Service) next() *sweep {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.queuedN == 0 || len(s.clients) == 0 {
+		return nil
+	}
+	for i := 0; i < len(s.clients); i++ {
+		c := s.clients[(s.rrNext+i)%len(s.clients)]
+		q := s.queues[c]
+		if len(q) == 0 {
+			continue
+		}
+		id := q[0]
+		s.queues[c] = q[1:]
+		s.queuedN--
+		s.rrNext = (s.rrNext + i + 1) % len(s.clients)
+		sw := s.sweeps[id]
+		sw.state = StateRunning
+		return sw
+	}
+	return nil
+}
+
+// rescan re-enqueues every journaled sweep without a report — the
+// Resume path after a crash or drain. IDs are scanned in sorted order so
+// the resumed schedule is deterministic.
+func (s *Service) rescan() error {
+	ents, err := os.ReadDir(s.sweepsRoot())
+	if err != nil {
+		return fmt.Errorf("service: rescan: %w", err)
+	}
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		id := e.Name()
+		reqJSON, err := os.ReadFile(filepath.Join(s.sweepDir(id), "request.json"))
+		if err != nil {
+			continue // torn submission: never acknowledged, safe to ignore
+		}
+		var req SweepRequest
+		if err := json.Unmarshal(reqJSON, &req); err != nil || sweepID(req) != id {
+			continue // corrupt or foreign; the content address must verify
+		}
+		sw := &sweep{id: id, req: req, jobs: len(req.Workloads) * len(req.Policies)}
+		s.sweeps[id] = sw
+		if _, err := os.Stat(filepath.Join(s.sweepDir(id), "report.csv")); err == nil {
+			sw.state = StateDone
+			continue
+		}
+		s.enqueueLocked(sw)
+	}
+	return nil
+}
+
+// Run processes sweeps until ctx is cancelled, then drains: admission
+// stops, the in-flight sweep is interrupted at its next batch boundary
+// (its completed simulations are already checkpointed), the store is
+// flushed, and Run returns nil. Call once.
+func (s *Service) Run(ctx context.Context) error {
+	for {
+		if ctx.Err() != nil {
+			return s.drain()
+		}
+		sw := s.next()
+		if sw == nil {
+			select {
+			case <-ctx.Done():
+				return s.drain()
+			case <-s.wake:
+			}
+			continue
+		}
+		s.runSweep(ctx, sw)
+	}
+}
+
+// drain finalizes shutdown: stop admission and flush the store. By the
+// time drain runs no sweep is executing (Run is single-threaded), and
+// every completed simulation was checkpointed the moment it finished.
+func (s *Service) drain() error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	if s.cfg.Store != nil {
+		if err := s.cfg.Store.Flush(); err != nil {
+			return fmt.Errorf("service: store flush on drain: %w", err)
+		}
+	}
+	return nil
+}
+
+// Draining reports whether admission is closed (readyz uses it). It flips
+// when a drain completes or when Drain() is called explicitly.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain closes admission immediately (the HTTP layer keeps serving reads).
+// Run still finishes its in-flight sweep before returning.
+func (s *Service) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// runSweep executes one sweep with deadline budget and deterministic
+// retry/backoff.
+func (s *Service) runSweep(ctx context.Context, sw *sweep) {
+	deadline := s.cfg.DefaultDeadline
+	if sw.req.DeadlineMs > 0 {
+		deadline = time.Duration(sw.req.DeadlineMs) * time.Millisecond
+	}
+	for attempt := 0; ; attempt++ {
+		s.mu.Lock()
+		sw.attempts++
+		s.mu.Unlock()
+
+		jctx, cancel := context.WithTimeout(ctx, deadline)
+		rep, csv := s.executeGrid(jctx, sw)
+		cancel()
+		s.notes.Add(uint64(len(rep.Notes)))
+
+		switch {
+		case ctx.Err() != nil:
+			// Drain reached us mid-sweep: completed sims are journaled,
+			// the rest resumes on the next start. Not a failure.
+			s.interrupted.Add(1)
+			s.setState(sw, StateInterrupted, "interrupted by drain; resume to finish")
+			return
+		case rep.OK():
+			if err := store.WriteFileAtomic(filepath.Join(s.sweepDir(sw.id), "report.csv"), []byte(csv)); err != nil {
+				s.setState(sw, StateFailed, fmt.Sprintf("writing report: %v", err))
+				return
+			}
+			s.setState(sw, StateDone, "")
+			return
+		case attempt >= s.cfg.MaxRetries || !retryable(rep):
+			s.setState(sw, StateFailed, failureSummary(rep))
+			return
+		}
+		// Transient failure: back off on the pinned deterministic schedule
+		// and re-run; finished sims replay from the checkpoint journal.
+		s.retried.Add(1)
+		s.backoffWait(ctx, backoffDelay(s.cfg.RetrySeed, sw.id, attempt, s.cfg.BackoffBase, s.cfg.BackoffCap))
+	}
+}
+
+// backoffWait sleeps for d but yields early to a drain — a retrying sweep
+// must not hold up shutdown for its backoff (the next loop iteration sees
+// the cancelled context and marks the sweep interrupted).
+func (s *Service) backoffWait(ctx context.Context, d time.Duration) {
+	if s.sleep != nil { // test seam
+		s.sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// executeGrid runs the sweep's grid through the runner and renders the
+// report. Row order is the submission's (workloads outer, policies inner),
+// so the CSV is byte-identical for any worker count, any retry count and
+// any resume point — the determinism contract the reports inherit from
+// TestParallelDeterminism and TestCheckpointKillAndResume.
+func (s *Service) executeGrid(ctx context.Context, sw *sweep) (*runner.Report, string) {
+	req := sw.req
+	tab := stats.NewTable("sweep "+sw.id, "workload", "policy", "cycles_per_access", "walk_cycle_fraction")
+	var jobs []runner.Job
+	for _, wname := range req.Workloads {
+		spec, _ := workload.ByName(wname)
+		for _, pname := range req.Policies {
+			kind, _ := sim.PolicyByName(pname)
+			cfg := sim.Config{
+				Workload: spec,
+				Policy:   kind,
+				MemGB:    req.MemGB,
+				Scale:    req.Scale,
+				Accesses: req.Accesses,
+				Seed:     req.Seed,
+				Fragment: req.Fragment,
+			}
+			jobs = append(jobs, runner.Sim(cfg, func(r *sim.Result) {
+				tab.AddRow(r.Workload, r.Policy, r.Perf.CyclesPerAccess, r.Perf.WalkCycleFraction)
+			}))
+		}
+	}
+	rep := runner.Execute(jobs, runner.Options{
+		Parallelism: s.cfg.Parallelism,
+		Label:       "sweep/" + sw.id,
+		Context:     ctx,
+		JobTimeout:  s.cfg.JobTimeout,
+		Checkpoint:  filepath.Join(s.sweepDir(sw.id), "checkpoint"),
+		Store:       s.cfg.Store,
+	})
+	return rep, tab.CSV()
+}
+
+// retryable classifies a report: panics are bugs (retrying reruns the same
+// deterministic machine) and cancellations are budget exhaustion (a retry
+// would exhaust it again); everything else — sim errors, checkpoint IO —
+// gets the retry budget.
+func retryable(rep *runner.Report) bool {
+	for i := range rep.Failures {
+		f := &rep.Failures[i]
+		if f.Panic != nil || f.Cancelled() {
+			return false
+		}
+	}
+	return true
+}
+
+// failureSummary renders a report's failures as one line per job.
+func failureSummary(rep *runner.Report) string {
+	var b strings.Builder
+	for i := range rep.Failures {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(rep.Failures[i].Reason())
+	}
+	return b.String()
+}
+
+// backoffDelay is the pinned retry schedule: capped exponential with
+// deterministic jitter. It is a pure function of (seed, sweep id, attempt),
+// so a chaos-reproduced failure schedule reproduces the exact same retry
+// timeline — determinism extends to the service's failure handling.
+func backoffDelay(seed uint64, id string, attempt int, base, cap time.Duration) time.Duration {
+	d := base << attempt
+	if d > cap || d <= 0 {
+		d = cap
+	}
+	h := sha256.Sum256([]byte(id))
+	var idBits uint64
+	for i := 0; i < 8; i++ {
+		idBits = idBits<<8 | uint64(h[i])
+	}
+	rng := xrand.New(seed ^ idBits ^ (uint64(attempt)+1)*0x9e3779b97f4a7c15)
+	// Jitter into [d/2, d): spreads concurrent retries without breaking
+	// reproducibility.
+	return d/2 + time.Duration(rng.Uint64n(uint64(d/2)+1))
+}
+
+func (s *Service) setState(sw *sweep, state, msg string) {
+	s.mu.Lock()
+	sw.state = state
+	sw.err = msg
+	s.mu.Unlock()
+}
+
+// snapshotLocked renders a status snapshot; the caller holds s.mu.
+func (s *Service) snapshotLocked(sw *sweep) Sweep {
+	return Sweep{
+		ID:        sw.id,
+		Client:    sw.req.Client,
+		State:     sw.state,
+		Req:       sw.req,
+		Jobs:      sw.jobs,
+		Completed: s.completed(sw.id),
+		Attempts:  sw.attempts,
+		Error:     sw.err,
+	}
+}
+
+// completed counts this sweep's journaled simulations — it survives
+// restarts, so clients (and the CI kill-and-resume gate) can watch
+// durable progress.
+func (s *Service) completed(id string) int {
+	ents, err := os.ReadDir(filepath.Join(s.sweepDir(id), "checkpoint"))
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".json") {
+			n++
+		}
+	}
+	return n
+}
+
+// Get returns a sweep's status snapshot.
+func (s *Service) Get(id string) (Sweep, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw, ok := s.sweeps[id]
+	if !ok {
+		return Sweep{}, false
+	}
+	return s.snapshotLocked(sw), true
+}
+
+// List returns all known sweeps sorted by id.
+func (s *Service) List() []Sweep {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.sweeps))
+	for id := range s.sweeps {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]Sweep, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, s.snapshotLocked(s.sweeps[id]))
+	}
+	return out
+}
+
+// QueueDepth returns the number of queued sweeps.
+func (s *Service) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queuedN
+}
+
+// ReportPath returns the on-disk report location for a done sweep.
+func (s *Service) ReportPath(id string) string {
+	return filepath.Join(s.sweepDir(id), "report.csv")
+}

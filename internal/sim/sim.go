@@ -9,6 +9,8 @@ package sim
 import (
 	"context"
 	"fmt"
+	"sort"
+	"strings"
 
 	"repro/internal/audit"
 	"repro/internal/chaos"
@@ -90,6 +92,38 @@ func (p PolicyKind) String() string {
 		return "Trident-NC"
 	}
 	return fmt.Sprintf("PolicyKind(%d)", int(p))
+}
+
+// policyNames maps the case-folded CLI/API names to kinds. It is the
+// single source of truth for every front-end that parses a policy name
+// (cmd/tridentsim flags, the sweep service's JSON submissions).
+var policyNames = map[string]PolicyKind{
+	"4k":             Policy4K,
+	"thp":            PolicyTHP,
+	"hugetlbfs2m":    PolicyHugetlbfs2M,
+	"hugetlbfs1g":    PolicyHugetlbfs1G,
+	"hawkeye":        PolicyHawkEye,
+	"trident":        PolicyTrident,
+	"trident-1gonly": PolicyTrident1GOnly,
+	"trident-nc":     PolicyTridentNC,
+}
+
+// PolicyByName resolves a policy's CLI name (case-insensitive: "4k",
+// "thp", "hugetlbfs2m", "hugetlbfs1g", "hawkeye", "trident",
+// "trident-1gonly", "trident-nc") to its kind.
+func PolicyByName(name string) (PolicyKind, bool) {
+	p, ok := policyNames[strings.ToLower(name)]
+	return p, ok
+}
+
+// PolicyNames lists the accepted policy names, sorted, for error messages.
+func PolicyNames() []string {
+	out := make([]string, 0, len(policyNames))
+	for name := range policyNames {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // RefRuntimeNs is the modeled full-run duration against which background

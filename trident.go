@@ -36,6 +36,7 @@ package trident
 
 import (
 	"repro/internal/experiments"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tlb"
@@ -73,8 +74,22 @@ const (
 	PolicyTridentNC     = sim.PolicyTridentNC
 )
 
+// PolicyByName looks a policy up by its CLI name ("4k", "thp", "trident",
+// ...); PolicyNames lists the valid names.
+func PolicyByName(name string) (Policy, bool) { return sim.PolicyByName(name) }
+
+// PolicyNames returns the valid CLI policy names, sorted.
+func PolicyNames() []string { return sim.PolicyNames() }
+
 // Run executes one configuration.
 func Run(cfg Config) (*Result, error) { return sim.Run(cfg) }
+
+// Fingerprint returns the content address a Config's result is stored
+// under: the memo-cache fingerprint shared by the checkpoint journal and
+// the persistent result store (see internal/store). Two processes — or two
+// runs years apart — that fingerprint the same Config will exchange
+// results through a shared store.
+func Fingerprint(cfg Config) string { return runner.Fingerprint(cfg) }
 
 // Workload models one of the paper's Table-2 applications.
 type Workload = workload.Spec
