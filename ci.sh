@@ -8,7 +8,10 @@
 # experiment validated by tracecheck (observability gate, DESIGN.md §7),
 # and the durable-service crash gate (DESIGN.md §9): kill -9 a running
 # sweep service mid-sweep, restart with -resume, and require the finished
-# report byte-identical to an uninterrupted run's.
+# report byte-identical to an uninterrupted run's. The crash gate doubles
+# as the observability gate (DESIGN.md §10): tridenttop -once must scrape
+# the service mid-sweep, and the replayed event stream (sweepctl tail
+# -csv) must reproduce the resumed report byte-for-byte.
 # Equivalent to `make verify` (the make twin runs the in-process
 # drain/resume tests; the kill -9 path lives here).
 set -eux
@@ -19,7 +22,8 @@ go vet ./...
 # Determinism & layering lint (tridentlint, DESIGN.md §8): type-resolved
 # wall-clock ban in the simulated world, math/rand confined to
 # internal/xrand, no order-sensitive emission from map iteration, the
-# declared import DAG, and sim.Config/memo-key coverage. Self-clean gate:
+# declared import DAG, sim.Config/memo-key coverage, and memo-key purity
+# (no logging/observability inside key computation). Self-clean gate:
 go run ./cmd/tridentlint ./...
 
 # Negative gate: the linter must still fire on the seeded-violation
@@ -61,6 +65,7 @@ test -s "$obsdir"/trace/figure9-series.csv
 # different worker count, so the diff also re-proves worker independence).
 go build -o "$svcdir/experiments" ./cmd/experiments
 go build -o "$svcdir/sweepctl" ./cmd/sweepctl
+go build -o "$svcdir/tridenttop" ./cmd/tridenttop
 wait_addr() {
   for _ in $(seq 1 200); do test -s "$1" && return 0; sleep 0.05; done
   echo "sweep service did not bind" >&2
@@ -87,6 +92,12 @@ wait_addr "$svcdir/svc/addr"
 id2=$("$svcdir/sweepctl" -addrfile "$svcdir/svc/addr" submit $SWEEP_ARGS 2>/dev/null)
 test "$id2" = "$id" # content-addressed: same sweep, same id, any process
 "$svcdir/sweepctl" -addrfile "$svcdir/svc/addr" wait -completed 1 "$id" >/dev/null 2>&1
+# Observability probe mid-sweep: the dashboard's one-shot snapshot must
+# reach /metrics and show the running sweep, and the service must be
+# scrapeable while jobs are in flight.
+"$svcdir/tridenttop" -once -addrfile "$svcdir/svc/addr" >"$svcdir/top.txt"
+grep -q "$id" "$svcdir/top.txt"
+grep -q "SERVICE" "$svcdir/top.txt"
 kill -9 $svcpid
 wait $svcpid || true
 rm -f "$svcdir/svc/addr" # stale: the restart writes a fresh one
@@ -97,6 +108,11 @@ svcpid=$!
 wait_addr "$svcdir/svc/addr"
 "$svcdir/sweepctl" -addrfile "$svcdir/svc/addr" -timeout 5m wait "$id" >/dev/null 2>&1
 "$svcdir/sweepctl" -addrfile "$svcdir/svc/addr" report "$id" >"$svcdir/resumed.csv"
+# Event-stream replay gate (DESIGN.md §10): reassembling the finished
+# sweep's event journal (header + row events) must reproduce the report
+# byte-for-byte, crash and resume notwithstanding.
+"$svcdir/sweepctl" -addrfile "$svcdir/svc/addr" tail -csv "$id" >"$svcdir/streamed.csv"
+cmp "$svcdir/streamed.csv" "$svcdir/resumed.csv"
 kill -TERM $svcpid
 wait $svcpid
 svcpid=""

@@ -136,6 +136,7 @@ func run() error {
 		sampleEach = flag.Int("sample-every", 1, "with -trace: record one time-series sample every N measurement batches (0 disables the series)")
 		httpAddr   = flag.String("http", "", "serve /metrics (Prometheus), /progress (JSON) and /debug/pprof on this address while running (e.g. :8080)")
 		logJSON    = flag.Bool("logjson", false, "emit diagnostics as JSON (slog) instead of text; tables still print to stdout")
+		logLevel   = flag.String("loglevel", "info", "diagnostics verbosity: debug (per-job delivery lines), info, warn or error")
 		storeURL   = flag.String("store", "", `persistent result store ("fs:<dir>" or "mem:"): reuse results published by previous runs and publish new ones`)
 		serve      = flag.Bool("serve", false, "run as the sweep service instead of a batch: accept sweep submissions on the -http server (POST /sweeps) until SIGTERM, then drain and exit 0")
 	)
@@ -165,13 +166,13 @@ Examples:
 	flag.Parse()
 
 	// Diagnostics go to stderr through slog; tables and CSVs are the real
-	// output and stay on stdout / in -out.
-	logOpts := &slog.HandlerOptions{Level: slog.LevelInfo}
-	if *logJSON {
-		slog.SetDefault(slog.New(slog.NewJSONHandler(os.Stderr, logOpts)))
-	} else {
-		slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, logOpts)))
+	// output and stay on stdout / in -out. The handler is obs.Correlated,
+	// so records logged with a request context inherit its sweep_id.
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("-loglevel %q: %w", *logLevel, err)
 	}
+	slog.SetDefault(obs.NewLogger(os.Stderr, *logJSON, level))
 
 	// Seed 0 is reserved internally as "unset" and would be silently
 	// remapped to 1; reject it here so -seed 0 and -seed 1 can't be
@@ -190,6 +191,7 @@ Examples:
 	}
 	settings.Seed = *seed
 	settings.Parallelism = *parallel
+	settings.Log = slog.Default().With("component", "runner")
 
 	selected := map[string]bool{}
 	if *only != "" {
@@ -231,6 +233,7 @@ Examples:
 		if st, err = store.Open(*storeURL); err != nil {
 			return err
 		}
+		st.SetLogger(slog.Default().With("component", "store"))
 		defer st.Close()
 		settings.Store = st
 	}
@@ -398,6 +401,7 @@ func runServe(out, addr, storeURL string, parallel int, timeout time.Duration, s
 		if st, err = store.Open(storeURL); err != nil {
 			return err
 		}
+		st.SetLogger(slog.Default().With("component", "store"))
 		defer st.Close()
 	}
 	svc, err := service.New(service.Config{
@@ -407,6 +411,7 @@ func runServe(out, addr, storeURL string, parallel int, timeout time.Duration, s
 		JobTimeout:  timeout,
 		RetrySeed:   seed,
 		Resume:      resume,
+		Log:         slog.Default().With("component", "service"),
 	})
 	if err != nil {
 		return err

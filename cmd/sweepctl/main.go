@@ -1,11 +1,14 @@
 // Command sweepctl talks to the sweep service (experiments -serve): it
-// submits workloads × policies grids, watches their durable progress, and
-// fetches finished reports.
+// submits workloads × policies grids, watches their durable progress,
+// follows their live event streams, and fetches finished reports.
 //
 //	sweepctl -addrfile svc/addr submit -workloads GUPS,Redis -policies 4k,trident
 //	sweepctl -addr 127.0.0.1:8080 status <id>
 //	sweepctl -addr 127.0.0.1:8080 wait <id>            # until done (or failed)
 //	sweepctl -addr 127.0.0.1:8080 wait -completed 1 <id>  # until 1 sim is durable
+//	sweepctl -addr 127.0.0.1:8080 wait -follow <id>    # narrate rows as they land
+//	sweepctl -addr 127.0.0.1:8080 tail <id>            # raw NDJSON event stream
+//	sweepctl -addr 127.0.0.1:8080 tail -csv <id> > report.csv  # stream == report
 //	sweepctl -addr 127.0.0.1:8080 report <id> > report.csv
 //	sweepctl -addr 127.0.0.1:8080 list
 //
@@ -15,12 +18,15 @@
 package main
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -33,7 +39,7 @@ func main() {
 	)
 	flag.Usage = func() {
 		fmt.Fprint(flag.CommandLine.Output(),
-			"Usage: sweepctl [-addr host:port | -addrfile file] <submit|status|wait|report|list> ...\n\nFlags:\n")
+			"Usage: sweepctl [-addr host:port | -addrfile file] <submit|status|wait|tail|report|list> ...\n\nFlags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -53,6 +59,8 @@ func main() {
 		err = status(base, args)
 	case "wait":
 		err = wait(base, args, *timeout)
+	case "tail":
+		err = tail(base, args, *timeout)
 	case "report":
 		err = report(base, args)
 	case "list":
@@ -200,20 +208,58 @@ func printStatus(sw sweepStatus) {
 	fmt.Println()
 }
 
-// wait polls until the sweep is done (or, with -completed N, until N of
+// Polling backoff bounds: wait starts eager (a short sweep should return
+// promptly) and decays toward pollMax while nothing changes, resetting
+// whenever the sweep makes observable progress. This replaces the old
+// fixed 50ms busy-poll, which hammered an idle service ~20×/s for the
+// whole life of a long sweep.
+const (
+	pollMin = 25 * time.Millisecond
+	pollMax = 1 * time.Second
+)
+
+// wait blocks until the sweep is done (or, with -completed N, until N of
 // its simulations are durably journaled — the hook the crash-recovery
-// gate uses to kill the service only after real progress exists).
+// gate uses to kill the service only after real progress exists). With
+// -follow it consumes the live event stream instead of polling, narrating
+// rows to stderr as they land, and falls back to polling if the stream
+// drops. Polling backs off exponentially (pollMin→pollMax, reset on
+// progress) and honors a Retry-After from the service.
 func wait(base string, args []string, timeout time.Duration) error {
 	fs := flag.NewFlagSet("wait", flag.ExitOnError)
 	completed := fs.Int("completed", 0, "return once this many simulations are durable (0 = wait for the whole sweep)")
+	follow := fs.Bool("follow", false, "consume the live event stream (rows narrated to stderr) instead of polling")
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: sweepctl wait [-completed N] <id>")
+		return fmt.Errorf("usage: sweepctl wait [-completed N] [-follow] <id>")
 	}
 	id := fs.Arg(0)
 	deadline := time.Now().Add(timeout)
+
+	if *follow && *completed == 0 {
+		if err := followStream(base, id, deadline); err == nil {
+			// The stream ended at a terminal state; one status fetch
+			// renders the verdict (and the failure error, if any).
+			sw, ferr := fetch(base, id)
+			if ferr != nil {
+				return ferr
+			}
+			printStatus(sw)
+			if sw.State == "failed" {
+				return fmt.Errorf("sweep %s failed: %s", id, sw.Error)
+			}
+			return nil
+		} else if time.Now().After(deadline) {
+			return err
+		}
+		// Stream unavailable (old server, proxy, drop): fall back to polls.
+		fmt.Fprintln(os.Stderr, "sweepctl: event stream unavailable, falling back to polling")
+	}
+
+	var last sweepStatus
+	pause := pollMin
 	for {
-		sw, err := fetch(base, id)
+		sw, retryAfter, err := fetchForPoll(base, id)
 		if err != nil {
 			return err
 		}
@@ -232,8 +278,233 @@ func wait(base string, args []string, timeout time.Duration) error {
 			return fmt.Errorf("timed out after %v waiting for %s (state %s, %d/%d durable)",
 				timeout, id, sw.State, sw.Completed, sw.Jobs)
 		}
-		time.Sleep(50 * time.Millisecond)
+		// Progress resets the backoff; quiet periods double it up to the cap.
+		if sw.State != last.State || sw.Completed != last.Completed || sw.Attempts != last.Attempts {
+			pause = pollMin
+		} else if pause *= 2; pause > pollMax {
+			pause = pollMax
+		}
+		last = sw
+		if retryAfter > pause {
+			pause = retryAfter
+		}
+		time.Sleep(pause)
 	}
+}
+
+// fetchForPoll is fetch plus the service's explicit pacing: a 429/503
+// with Retry-After is not an error while polling, it is the service
+// telling us when to come back.
+func fetchForPoll(base, id string) (sweepStatus, time.Duration, error) {
+	resp, err := http.Get(base + "/sweeps/" + id)
+	if err != nil {
+		return sweepStatus{}, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return sweepStatus{}, 0, err
+	}
+	var retryAfter time.Duration
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+		return sweepStatus{}, retryAfter, nil // back-pressured, not failed
+	}
+	if resp.StatusCode != http.StatusOK {
+		return sweepStatus{}, 0, fmt.Errorf("%s/sweeps/%s: %s: %s", base, id, resp.Status, strings.TrimSpace(string(body)))
+	}
+	var sw sweepStatus
+	if err := json.Unmarshal(body, &sw); err != nil {
+		return sweepStatus{}, 0, err
+	}
+	return sw, retryAfter, nil
+}
+
+// event mirrors the service's NDJSON event lines; only the fields
+// sweepctl reads are declared. Seq is a pointer: journaled events carry
+// one, ephemeral lifecycle events do not.
+type event struct {
+	Seq         *int   `json:"seq"`
+	Event       string `json:"event"`
+	Sweep       string `json:"sweep"`
+	Jobs        int    `json:"jobs"`
+	Header      string `json:"header"`
+	Job         int    `json:"job"`
+	Fingerprint string `json:"fingerprint"`
+	Row         string `json:"row"`
+	Rows        int    `json:"rows"`
+	State       string `json:"state"`
+	Error       string `json:"error"`
+	Attempt     int    `json:"attempt"`
+}
+
+func terminal(state string) bool {
+	return state == "done" || state == "failed" || state == "interrupted"
+}
+
+// streamEvents consumes GET /sweeps/{id}/events until onEvent returns
+// stop, the deadline passes, or the stream ends. Dropped connections
+// reconnect with Last-Event-ID set to the last journaled seq seen, so a
+// resumed stream never re-delivers rows already handled.
+func streamEvents(base, id string, after int, deadline time.Time, onEvent func(ev event, raw string) bool) error {
+	lastSeq := after
+	for attempt := 0; ; attempt++ {
+		ctx, cancel := context.WithDeadline(context.Background(), deadline)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			base+"/sweeps/"+id+"/events", nil)
+		if err != nil {
+			cancel()
+			return err
+		}
+		if lastSeq >= 0 {
+			req.Header.Set("Last-Event-ID", strconv.Itoa(lastSeq))
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			cancel()
+			if attempt == 0 || time.Now().After(deadline) {
+				return err
+			}
+			time.Sleep(pollMin << min(attempt, 5))
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			cancel()
+			return fmt.Errorf("events: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		stopped := false
+		for sc.Scan() {
+			raw := sc.Text()
+			var ev event
+			if err := json.Unmarshal([]byte(raw), &ev); err != nil {
+				continue // skip torn/foreign lines rather than aborting the tail
+			}
+			if ev.Seq != nil {
+				lastSeq = *ev.Seq
+			}
+			if onEvent(ev, raw) {
+				stopped = true
+				break
+			}
+		}
+		scanErr := sc.Err()
+		resp.Body.Close()
+		cancel()
+		if stopped {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("timed out waiting for events of %s", id)
+		}
+		if scanErr == nil {
+			// Clean EOF without a terminal event: server closed the stream
+			// (e.g. drain). Treat as done-from-our-side.
+			return nil
+		}
+		time.Sleep(pollMin << min(attempt, 5))
+	}
+}
+
+// followStream narrates a sweep's events to stderr until its terminal
+// state event arrives.
+func followStream(base, id string, deadline time.Time) error {
+	return streamEvents(base, id, -1, deadline, func(ev event, raw string) bool {
+		switch ev.Event {
+		case "sweep_started":
+			fmt.Fprintf(os.Stderr, "sweep %s started: %d jobs [%s]\n", ev.Sweep, ev.Jobs, ev.Header)
+		case "row":
+			fmt.Fprintf(os.Stderr, "row %d: %s\n", ev.Job, ev.Row)
+		case "sweep_done":
+			fmt.Fprintf(os.Stderr, "sweep %s complete: %d rows\n", ev.Sweep, ev.Rows)
+		case "state":
+			fmt.Fprintf(os.Stderr, "state: %s%s\n", ev.State, errSuffix(ev.Error))
+			return terminal(ev.State)
+		}
+		return false
+	})
+}
+
+func errSuffix(e string) string {
+	if e == "" {
+		return ""
+	}
+	return " (" + e + ")"
+}
+
+// tail streams a sweep's events to stdout. Raw mode prints the NDJSON
+// lines verbatim and exits at the terminal state event. With -csv the
+// journaled events are reassembled into the report: the header and row
+// events of the finishing attempt printed as CSV — byte-identical to
+// `sweepctl report` for a done sweep (the CI gate asserts it).
+func tail(base string, args []string, timeout time.Duration) error {
+	fs := flag.NewFlagSet("tail", flag.ExitOnError)
+	after := fs.Int("after", -1, "skip journaled events with seq <= this")
+	csv := fs.Bool("csv", false, "reassemble the event stream into the report CSV on stdout")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: sweepctl tail [-after N] [-csv] <id>")
+	}
+	id := fs.Arg(0)
+	deadline := time.Now().Add(timeout)
+
+	if !*csv {
+		var failed string
+		err := streamEvents(base, id, *after, deadline, func(ev event, raw string) bool {
+			fmt.Println(raw)
+			if ev.Event == "state" && terminal(ev.State) {
+				if ev.State == "failed" {
+					failed = ev.Error
+				}
+				return true
+			}
+			return false
+		})
+		if err == nil && failed != "" {
+			return fmt.Errorf("sweep %s failed: %s", id, failed)
+		}
+		return err
+	}
+
+	// CSV mode accumulates one attempt's journal and flushes it at
+	// sweep_done: a mid-run retry resets the buffer (the journal was
+	// truncated server-side too), so stdout only ever carries the rows of
+	// the attempt that actually finished.
+	var lines []string
+	done := false
+	err := streamEvents(base, id, -1, deadline, func(ev event, raw string) bool {
+		switch ev.Event {
+		case "sweep_started":
+			lines = append(lines[:0], ev.Header)
+		case "row":
+			lines = append(lines, ev.Row)
+		case "sweep_done":
+			done = true
+			return true
+		case "state":
+			if terminal(ev.State) {
+				return true
+			}
+		}
+		return false
+	})
+	if err != nil {
+		return err
+	}
+	if !done {
+		return fmt.Errorf("sweep %s ended without completing (no sweep_done event); no CSV to emit", id)
+	}
+	for _, ln := range lines {
+		fmt.Println(ln)
+	}
+	return nil
 }
 
 func report(base string, args []string) error {

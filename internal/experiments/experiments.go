@@ -18,6 +18,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"repro/internal/obs"
@@ -73,6 +74,11 @@ type Settings struct {
 	// leave a given experiment unobserved. Observation never alters
 	// results: the report CSVs are byte-identical with or without it.
 	Obs func(label string) *obs.Observer
+
+	// Log, when non-nil, receives one structured record per delivered job
+	// (experiment, job name, result source, wall ms) through the runner.
+	// Like Obs, it never alters results.
+	Log *slog.Logger
 }
 
 // fill resolves defaults from the sim package's canonical constants, so the
@@ -157,6 +163,7 @@ func (s Settings) run(label string, jobs []runner.Job) {
 		Checkpoint:  s.Checkpoint,
 		Store:       s.Store,
 		Obs:         ob,
+		Log:         s.Log,
 	})
 	if err := ob.Close(); err != nil {
 		// Losing a trace must not discard the experiment's rows: record it

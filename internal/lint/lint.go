@@ -29,7 +29,7 @@ type Check struct {
 	Name string
 	// Doc is a one-line description of the enforced invariant.
 	Doc string
-	Run  func(m *Module) []Finding
+	Run func(m *Module) []Finding
 }
 
 // Checks returns the full registry with the repo's default tables
@@ -41,6 +41,7 @@ func Checks() []Check {
 		{Name: "maporder", Doc: "no order-sensitive emission from map iteration", Run: checkMapOrder},
 		{Name: "layering", Doc: "declared import DAG between package layers", Run: checkLayering},
 		{Name: "memokey", Doc: "sim.Config fields covered by runner memo key or exclusion list", Run: checkMemoKey},
+		{Name: "obspure", Doc: "memo-key computation free of logging and observability calls", Run: checkObsPure},
 	}
 }
 

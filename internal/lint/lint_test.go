@@ -39,6 +39,7 @@ func TestBadFixtureFindings(t *testing.T) {
 		{"layering", "internal/sim/sim.go", "internal/sim must not import internal/runner"},
 		{"layering", "internal/store/fs.go", "internal/store must not import internal/sim"},
 		{"layering", "internal/service/service.go", "internal/service must not import internal/experiments"},
+		{"obspure", "internal/runner/runner.go", "log/slog.Info inside memo-key function fingerprintKey"},
 		{"memokey", "internal/sim/sim.go", "sim.Config.Extra is neither fingerprinted"},
 		{"wallclock", "internal/sim/sim.go", "time.Now in simulated-world package internal/sim"},
 		{"maporder", "internal/sim/sim.go", "fmt.Println inside range over map"},
@@ -139,10 +140,10 @@ func TestSelfClean(t *testing.T) {
 	}
 }
 
-// TestCheckRegistry pins the five contract checks by name so a dropped
+// TestCheckRegistry pins the six contract checks by name so a dropped
 // registration cannot go unnoticed.
 func TestCheckRegistry(t *testing.T) {
-	want := []string{"wallclock", "randomness", "maporder", "layering", "memokey"}
+	want := []string{"wallclock", "randomness", "maporder", "layering", "memokey", "obspure"}
 	var got []string
 	for _, c := range Checks() {
 		got = append(got, c.Name)

@@ -15,9 +15,9 @@ import (
 // list can silently alias distinct configs in the cache — the bug
 // Config.Obs nearly introduced before its exclusion was made deliberate.
 var memoKeySpec = struct {
-	simRel, configType        string
-	runnerRel, keyType        string
-	exclusionsVar             string
+	simRel, configType string
+	runnerRel, keyType string
+	exclusionsVar      string
 }{
 	simRel: "internal/sim", configType: "Config",
 	runnerRel: "internal/runner", keyType: "cacheKey",

@@ -1,8 +1,14 @@
 // Package runner carries a memo key that has drifted from sim.Config:
 // Config.Extra is neither keyed nor excluded, Config.Shape is both keyed
 // and excluded, and the exclusion list names a field ("Obs") that no
-// longer exists.
+// longer exists. fingerprintKey additionally logs from inside memo-key
+// computation, which the obspure check forbids.
 package runner
+
+import (
+	"fmt"
+	"log/slog"
+)
 
 type cacheKey struct {
 	workload int
@@ -18,6 +24,15 @@ var MemoKeyExclusions = map[string]string{
 	"Obs":   "stale entry left behind after a rename",
 	"Shape": "loop-shape only — but the key fingerprints it too, so one side must go",
 }
+
+// fingerprintKey emits a log line while computing the content address:
+// observation inside memo-key computation, the obspure violation.
+func fingerprintKey(key cacheKey) string {
+	slog.Info("fingerprinting", "workload", key.workload)
+	return fmt.Sprintf("%#v", key)
+}
+
+var _ = fingerprintKey
 
 // Touch exists so the fixture sim package has something to import.
 func Touch() {}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// Service-side structured logging (DESIGN.md §10). The simulated world
+// never logs — a log line from inside the machine would be a wall-clock-
+// adjacent side channel — but the service, runner and store around it do,
+// and their lines must be joinable: every log record downstream of one
+// sweep submission carries that sweep's correlation attributes
+// (sweep_id, and per job the memo fingerprint). Correlation propagates two
+// ways, both cheap and both optional:
+//
+//   - by logger: a component derives a child logger with
+//     logger.With("sweep_id", id) and hands it down (service → runner via
+//     runner.Options.Log, runner → store lines it emits on the store's
+//     behalf);
+//   - by context: an HTTP middleware stores attributes in the request
+//     context with WithCorr, and any slog call that passes the context
+//     (slog.InfoContext, Logger.ErrorContext, ...) through a Correlated
+//     handler picks them up without plumbing a logger at all.
+//
+// Nothing here reads the wall clock: timestamps on log records come from
+// the slog front end, outside this package, and logs are diagnostics only
+// — the determinism contract (§5) never extends to them.
+
+// corrKey is the context key under which correlation attributes travel.
+type corrKey struct{}
+
+// WithCorr returns a context carrying the given correlation attributes in
+// addition to any the context already holds. Records logged through a
+// Correlated handler with this context gain the attributes automatically.
+func WithCorr(ctx context.Context, attrs ...slog.Attr) context.Context {
+	if len(attrs) == 0 {
+		return ctx
+	}
+	prev := CorrAttrs(ctx)
+	merged := make([]slog.Attr, 0, len(prev)+len(attrs))
+	merged = append(merged, prev...)
+	merged = append(merged, attrs...)
+	return context.WithValue(ctx, corrKey{}, merged)
+}
+
+// CorrAttrs returns the correlation attributes carried by ctx, if any.
+func CorrAttrs(ctx context.Context) []slog.Attr {
+	if ctx == nil {
+		return nil
+	}
+	attrs, _ := ctx.Value(corrKey{}).([]slog.Attr)
+	return attrs
+}
+
+// corrHandler injects context correlation attributes into every record.
+type corrHandler struct{ inner slog.Handler }
+
+// Correlated wraps a slog.Handler so that records logged with a context
+// built by WithCorr carry the context's correlation attributes.
+func Correlated(h slog.Handler) slog.Handler {
+	if _, ok := h.(corrHandler); ok {
+		return h
+	}
+	return corrHandler{inner: h}
+}
+
+func (h corrHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h corrHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if attrs := CorrAttrs(ctx); len(attrs) > 0 {
+		rec = rec.Clone()
+		rec.AddAttrs(attrs...)
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h corrHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return corrHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h corrHandler) WithGroup(name string) slog.Handler {
+	return corrHandler{inner: h.inner.WithGroup(name)}
+}
+
+// NewLogger builds the house logger: text or JSON at the given level,
+// wrapped in Correlated so context correlation works out of the box.
+// cmd/experiments installs one as the slog default; tests hand in a
+// buffer.
+func NewLogger(w io.Writer, jsonFormat bool, level slog.Leveler) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if jsonFormat {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(Correlated(h))
+}

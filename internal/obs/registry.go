@@ -111,6 +111,24 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	})
 }
 
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time. fn must be monotonically non-decreasing (it typically reads an
+// atomic counter owned by the instrumented component); the registry only
+// declares the type, it cannot enforce monotonicity.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(name, help, "counter", func(emit func(string, float64)) {
+		emit(name, fn())
+	})
+}
+
+// GaugeSeriesFunc registers a gauge whose labeled series are produced by
+// fn at scrape time: fn calls emit once per series with the full series
+// name (e.g. `name{state="running"}`). fn must emit series in a fixed
+// order so the exposition stays deterministic.
+func (r *Registry) GaugeSeriesFunc(name, help string, fn func(emit func(series string, v float64))) {
+	r.register(name, help, "gauge", fn)
+}
+
 // Summary collects observations and exposes quantiles, count and sum,
 // built on stats.Histogram. Safe for concurrent use.
 type Summary struct {
@@ -182,14 +200,25 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return err
 }
 
-// ServeHTTP implements http.Handler, serving the text exposition. A
-// request whose context is already cancelled (client hung up between
-// accept and dispatch) is skipped: collectors walk live state and there
-// is no one left to read the result.
+// ServeHTTP implements http.Handler, serving the text exposition on GET.
+// HEAD returns the headers alone (load balancers probe with it); any other
+// method is 405 with an Allow header, not a confusing empty 200. A request
+// whose context is already cancelled (client hung up between accept and
+// dispatch) is skipped: collectors walk live state and there is no one
+// left to read the result.
 func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	if req.Context().Err() != nil {
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_ = r.WritePrometheus(w)
+	switch req.Method {
+	case http.MethodGet:
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	case http.MethodHead:
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+	default:
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "method not allowed; /metrics is read-only", http.StatusMethodNotAllowed)
+	}
 }

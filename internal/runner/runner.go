@@ -29,6 +29,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"runtime/debug"
 	"runtime/pprof"
@@ -126,6 +127,22 @@ type Options struct {
 	// observer is excluded from the memo-cache key — tracing never
 	// changes what a run computes.
 	Obs *obs.Observer
+
+	// Log, when non-nil, receives one structured line per delivered job
+	// (submission order: index, name, memo source, wall ms, fingerprint)
+	// plus one per failure and durability note. Callers thread correlation
+	// through the logger itself (e.g. the sweep service passes
+	// slog.With("sweep_id", id)), so every engine line downstream of a
+	// submission carries its origin. Logging is diagnostics only: it never
+	// touches results, and a nil Log costs nothing.
+	Log *slog.Logger
+	// OnJob, when non-nil, observes each delivered job in submission order:
+	// name, how the memo tiers satisfied it ("executed", "cache",
+	// "checkpoint", "store", "skipped", "failed"), and its wall time. The
+	// sweep service feeds its job-latency metrics and live event stream
+	// from this hook. It runs on the submitting goroutine, interleaved
+	// with Build/Commit callbacks.
+	OnJob func(name, source string, wallMs float64)
 }
 
 // Failure describes one job that did not deliver: its sim ended in an error,
@@ -208,13 +225,19 @@ func (r *Report) MustOK() {
 	}
 }
 
-// Execute runs jobs concurrently on a worker pool and then invokes each
-// job's Build/Commit callback in submission order. A job that panics,
-// errors, or is cancelled does not stop the batch: it becomes a Failure in
-// the returned Report (with the panic's stack and the job's config), its
-// callback is skipped, and every other job still runs and delivers. A panic
-// inside a Build/Commit callback is captured the same way, so one failed
-// experiment cannot take down the driver building rows from the others.
+// Execute runs jobs concurrently on a worker pool and invokes each job's
+// Build/Commit callback in submission order. Delivery is streaming: job
+// i's callback runs as soon as jobs 0..i have all finished — not after the
+// whole batch — so a caller observing its own callbacks (the sweep
+// service's live event stream) sees rows the moment the completed prefix
+// grows, while the order (and therefore every rendered table) stays
+// byte-identical to the sequential run for any worker count. A job that
+// panics, errors, or is cancelled does not stop the batch: it becomes a
+// Failure in the returned Report (with the panic's stack and the job's
+// config), its callback is skipped, and every other job still runs and
+// delivers. A panic inside a Build/Commit callback is captured the same
+// way, so one failed experiment cannot take down the driver building rows
+// from the others.
 func Execute(jobs []Job, opts Options) *Report {
 	rep := &Report{Jobs: len(jobs)}
 	if len(jobs) == 0 {
@@ -239,6 +262,13 @@ func Execute(jobs []Job, opts Options) *Report {
 	tr := beginBatch(opts.Label, len(jobs))
 	batchStart := time.Now()
 	results := make([]jobResult, len(jobs))
+	// done[i] closes when job i's result is fully recorded; the delivery
+	// loop below consumes the channels in submission order, so callbacks
+	// fire as the completed prefix grows (streaming), never out of order.
+	done := make([]chan struct{}, len(jobs))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
 
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -256,6 +286,7 @@ func Execute(jobs []Job, opts Options) *Report {
 					r.skipped = true
 					r.err = fmt.Errorf("runner: batch cancelled before job started: %w", err)
 					tr.jobSkipped()
+					close(done[i])
 					continue
 				}
 				jctx, cancel := ctx, context.CancelFunc(func() {})
@@ -263,6 +294,10 @@ func Execute(jobs []Job, opts Options) *Report {
 					jctx, cancel = context.WithTimeout(ctx, opts.JobTimeout)
 				}
 				tr.jobStarted()
+				if opts.Log != nil {
+					opts.Log.Debug("job dispatched", "experiment", opts.Label,
+						"index", i, "job", jobName(&jobs[i]))
+				}
 				start := time.Now()
 				pprof.Do(context.Background(), jobLabels(&jobs[i], opts.Label), func(context.Context) {
 					runJob(jctx, &jobs[i], r, opts, ckpt)
@@ -271,12 +306,13 @@ func Execute(jobs []Job, opts Options) *Report {
 				r.wallMs = float64(time.Since(start).Nanoseconds()) / 1e6
 				recordJobWall(r.wallMs)
 				tr.jobFinished(r)
+				close(done[i])
 			}
 		}()
 	}
-	wg.Wait()
 
 	for i := range jobs {
+		<-done[i]
 		j := &jobs[i]
 		r := &results[i]
 		if r.note != nil {
@@ -284,6 +320,10 @@ func Execute(jobs []Job, opts Options) *Report {
 			// journal/store entry recomputed, store write degraded).
 			rep.Notes = append(rep.Notes, Failure{Index: i, Experiment: opts.Label,
 				Name: jobName(j), Phase: "durability", Err: r.note, Cfg: j.Cfg})
+			if opts.Log != nil {
+				opts.Log.Warn("durability incident (result delivered)",
+					"experiment", opts.Label, "index", i, "job", jobName(j), "err", r.note)
+			}
 		}
 		switch {
 		case r.panicked != nil:
@@ -307,7 +347,32 @@ func Execute(jobs []Job, opts Options) *Report {
 			// are skipped by Flush itself.
 			opts.Obs.Flush(r.obs)
 		}
+		src := r.source()
+		if opts.Log != nil {
+			attrs := []any{"experiment", opts.Label, "index", i, "job", jobName(j),
+				"source", src, "wall_ms", r.wallMs}
+			if j.Run == nil && j.Cfg.Workload != nil {
+				attrs = append(attrs, "fingerprint", Fingerprint(j.Cfg))
+			}
+			if r.delivered() {
+				// Debug: one line per job is high-volume happy-path data —
+				// the event stream and metrics carry it at default levels.
+				opts.Log.Debug("job delivered", attrs...)
+			} else {
+				if r.err != nil {
+					attrs = append(attrs, "err", r.err)
+				}
+				if r.panicked != nil {
+					attrs = append(attrs, "panic", fmt.Sprint(r.panicked))
+				}
+				opts.Log.Error("job failed", attrs...)
+			}
+		}
+		if opts.OnJob != nil {
+			opts.OnJob(jobName(j), src, r.wallMs)
+		}
 	}
+	wg.Wait()
 	tr.endBatch(time.Since(batchStart))
 	return rep
 }
@@ -327,6 +392,31 @@ type jobResult struct {
 	obs       *obs.Run
 	phaseWall map[string]float64 // wall ms per sim phase (executed jobs only)
 	wallMs    float64
+}
+
+// delivered reports whether the job's callback will run (no failure of any
+// phase recorded against the run itself).
+func (r *jobResult) delivered() bool {
+	return r.panicked == nil && !r.skipped && r.err == nil
+}
+
+// source names the memo tier that satisfied the job, for logs, metrics and
+// the service event stream.
+func (r *jobResult) source() string {
+	switch {
+	case r.panicked != nil || r.err != nil && !r.skipped:
+		return "failed"
+	case r.skipped:
+		return "skipped"
+	case r.cached:
+		return "cache"
+	case r.resumed:
+		return "checkpoint"
+	case r.fromStore:
+		return "store"
+	default:
+		return "executed"
+	}
 }
 
 func (r *Report) fail(f Failure) { r.Failures = append(r.Failures, f) }

@@ -404,3 +404,54 @@ func TestConcurrentDuplicateSingleFlight(t *testing.T) {
 		}
 	}
 }
+
+// TestStreamingDelivery: callbacks fire as the completed prefix grows,
+// not after the whole batch. With one worker, job 1 blocks until job 0's
+// commit has run — possible only if delivery overlaps execution. If
+// delivery ever regresses to after-the-batch, job 1 times out and the
+// sawEarly assertion fails.
+func TestStreamingDelivery(t *testing.T) {
+	firstDelivered := make(chan struct{})
+	var sawEarly atomic.Bool
+	jobs := []Job{
+		Func(func() any { return 0 }, func(any) { close(firstDelivered) }),
+		Func(func() any {
+			select {
+			case <-firstDelivered:
+				sawEarly.Store(true)
+			case <-time.After(10 * time.Second):
+			}
+			return 1
+		}, nil),
+	}
+	Execute(jobs, Options{Parallelism: 1}).MustOK()
+	if !sawEarly.Load() {
+		t.Fatal("job 0's commit had not run while job 1 executed: delivery is not streaming")
+	}
+}
+
+// TestOnJobObserver: OnJob sees every delivered job with its result source,
+// in submission order — the hook the sweep service's metrics ride on.
+func TestOnJobObserver(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	cfg := tinyConfig(t)
+	var names, sources []string
+	opts := Options{Parallelism: 2, OnJob: func(name, source string, wallMs float64) {
+		names = append(names, name)
+		sources = append(sources, source)
+		if wallMs < 0 {
+			t.Errorf("job %s reported negative wall time %v", name, wallMs)
+		}
+	}}
+	Execute([]Job{Sim(cfg, nil)}, opts).MustOK()
+	Execute([]Job{Sim(cfg, nil)}, opts).MustOK()
+	if len(sources) != 2 || sources[0] != "executed" || sources[1] != "cache" {
+		t.Fatalf("sources = %v, want [executed cache]", sources)
+	}
+	for _, n := range names {
+		if n == "" {
+			t.Fatal("OnJob delivered an unnamed job")
+		}
+	}
+}

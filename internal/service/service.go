@@ -35,6 +35,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -43,6 +45,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -139,6 +142,12 @@ type Config struct {
 	// without it the sweep area is cleared at startup, mirroring the
 	// -resume contract of cmd/experiments.
 	Resume bool
+	// Log receives the service's structured diagnostics: admission
+	// decisions, sweep lifecycle, retries, per-job delivery (via the
+	// runner). nil silences them. Every record downstream of a sweep
+	// carries its sweep_id (DESIGN.md §10); logs never feed back into
+	// execution, so reports are byte-identical with or without one.
+	Log *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -176,12 +185,14 @@ type sweep struct {
 	jobs     int
 	attempts int
 	err      string
+	events   *eventLog
 }
 
 // Service is the sweep service. Create with New, serve HTTP via Handler,
 // process with Run; cancel Run's context to drain.
 type Service struct {
 	cfg   Config
+	log   *slog.Logger
 	sleep func(time.Duration) // test seam for retry backoff
 
 	mu       sync.Mutex
@@ -198,6 +209,17 @@ type Service struct {
 	retried     atomic.Uint64
 	notes       atomic.Uint64
 	interrupted atomic.Uint64
+	events      atomic.Uint64 // stream/journal events emitted
+	streamSubs  atomic.Int64  // live /events subscribers
+	inFlight    atomic.Int64  // jobs dispatched to the runner, not yet delivered
+
+	// Job-source delivery counters, fed by the runner's OnJob hook.
+	jobsExecuted, jobsCache, jobsCheckpoint, jobsStore, jobsSkipped, jobsFailed atomic.Uint64
+
+	// Summaries are registered lazily by RegisterMetrics; the hooks below
+	// tolerate their absence (a service without a registry still runs).
+	jobWallMs atomic.Pointer[obs.Summary]
+	backoffMs atomic.Pointer[obs.Summary]
 }
 
 // New creates the service, clearing or rescanning cfg.Dir per cfg.Resume.
@@ -206,8 +228,13 @@ func New(cfg Config) (*Service, error) {
 		return nil, errors.New("service: Config.Dir is required")
 	}
 	cfg = cfg.withDefaults()
+	log := cfg.Log
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s := &Service{
 		cfg:    cfg,
+		log:    log,
 		sweeps: map[string]*sweep{},
 		queues: map[string][]string{},
 		wake:   make(chan struct{}, 1),
@@ -278,25 +305,32 @@ func (s *Service) Submit(req SweepRequest) (Sweep, error) {
 		// Idempotent resubmission. A failed or interrupted sweep is
 		// re-admitted (fresh retry budget); anything else just reports.
 		if sw.state != StateFailed && sw.state != StateInterrupted {
+			s.log.Info("sweep resubmitted (idempotent)",
+				"sweep_id", id, "client", req.Client, "state", sw.state)
 			return s.snapshotLocked(sw), nil
 		}
 	}
 	if s.draining {
 		s.rejected.Add(1)
+		s.log.Warn("sweep rejected", "sweep_id", id, "client", req.Client, "reason", "draining")
 		return Sweep{}, ErrDraining
 	}
 	if s.queuedN >= s.cfg.QueueLimit {
 		s.rejected.Add(1)
+		s.log.Warn("sweep rejected", "sweep_id", id, "client", req.Client,
+			"reason", "queue full", "queued", s.queuedN)
 		return Sweep{}, ErrQueueFull
 	}
 	if len(s.queues[req.Client]) >= s.cfg.PerClientLimit {
 		s.rejected.Add(1)
+		s.log.Warn("sweep rejected", "sweep_id", id, "client", req.Client,
+			"reason", "per-client limit", "client_queued", len(s.queues[req.Client]))
 		return Sweep{}, ErrClientBusy
 	}
 
 	sw, ok := s.sweeps[id]
 	if !ok {
-		sw = &sweep{id: id, req: req, jobs: len(req.Workloads) * len(req.Policies)}
+		sw = s.newSweep(id, req)
 		// Durably journal the request before acknowledging: an accepted
 		// sweep survives a kill -9 one microsecond later.
 		dir := s.sweepDir(id)
@@ -311,7 +345,18 @@ func (s *Service) Submit(req SweepRequest) (Sweep, error) {
 	}
 	s.enqueueLocked(sw)
 	s.admitted.Add(1)
+	s.log.Info("sweep admitted", "sweep_id", id, "client", req.Client,
+		"jobs", sw.jobs, "queued", s.queuedN)
 	return s.snapshotLocked(sw), nil
+}
+
+// newSweep builds the in-memory record, wiring its event log to the
+// service's emission counter.
+func (s *Service) newSweep(id string, req SweepRequest) *sweep {
+	return &sweep{
+		id: id, req: req, jobs: len(req.Workloads) * len(req.Policies),
+		events: newEventLog(s.eventsPath(id), func() { s.events.Add(1) }),
+	}
 }
 
 func (s *Service) enqueueLocked(sw *sweep) {
@@ -323,6 +368,7 @@ func (s *Service) enqueueLocked(sw *sweep) {
 	}
 	s.queues[client] = append(s.queues[client], sw.id)
 	s.queuedN++
+	sw.events.state(sw.id, StateQueued, "", sw.attempts)
 	select {
 	case s.wake <- struct{}{}:
 	default:
@@ -375,12 +421,17 @@ func (s *Service) rescan() error {
 		if err := json.Unmarshal(reqJSON, &req); err != nil || sweepID(req) != id {
 			continue // corrupt or foreign; the content address must verify
 		}
-		sw := &sweep{id: id, req: req, jobs: len(req.Workloads) * len(req.Policies)}
+		sw := s.newSweep(id, req)
 		s.sweeps[id] = sw
 		if _, err := os.Stat(filepath.Join(s.sweepDir(id), "report.csv")); err == nil {
 			sw.state = StateDone
+			// Seal the recovered event log: subscribers replay the
+			// journal from disk and disconnect at the terminal state.
+			sw.events.finish()
+			s.log.Info("sweep recovered as done", "sweep_id", id)
 			continue
 		}
+		s.log.Info("sweep re-enqueued on resume", "sweep_id", id, "client", req.Client)
 		s.enqueueLocked(sw)
 	}
 	return nil
@@ -414,12 +465,16 @@ func (s *Service) Run(ctx context.Context) error {
 func (s *Service) drain() error {
 	s.mu.Lock()
 	s.draining = true
+	queued := s.queuedN
 	s.mu.Unlock()
+	s.log.Info("service draining", "queued", queued)
 	if s.cfg.Store != nil {
 		if err := s.cfg.Store.Flush(); err != nil {
+			s.log.Error("store flush on drain failed", "err", err)
 			return fmt.Errorf("service: store flush on drain: %w", err)
 		}
 	}
+	s.log.Info("service drained")
 	return nil
 }
 
@@ -440,8 +495,12 @@ func (s *Service) Drain() {
 }
 
 // runSweep executes one sweep with deadline budget and deterministic
-// retry/backoff.
+// retry/backoff. Each attempt rewrites the sweep's event journal from
+// scratch (completed sims replay from the checkpoint, re-emitting the
+// identical prefix), so the journal of the attempt that finishes is
+// byte-identical to an uninterrupted run's.
 func (s *Service) runSweep(ctx context.Context, sw *sweep) {
+	log := s.log.With("sweep_id", sw.id)
 	deadline := s.cfg.DefaultDeadline
 	if sw.req.DeadlineMs > 0 {
 		deadline = time.Duration(sw.req.DeadlineMs) * time.Millisecond
@@ -449,10 +508,19 @@ func (s *Service) runSweep(ctx context.Context, sw *sweep) {
 	for attempt := 0; ; attempt++ {
 		s.mu.Lock()
 		sw.attempts++
+		att := sw.attempts
 		s.mu.Unlock()
+		log.Info("sweep attempt started",
+			"attempt", att, "jobs", sw.jobs, "deadline_ms", deadline.Milliseconds())
+		sw.events.state(sw.id, StateRunning, "", att)
+		if err := sw.events.begin(); err != nil {
+			// Journal unavailable: the sweep still runs (reports are the
+			// source of truth), subscribers just see a gap.
+			log.Error("event journal unavailable", "err", err)
+		}
 
 		jctx, cancel := context.WithTimeout(ctx, deadline)
-		rep, csv := s.executeGrid(jctx, sw)
+		rep, csv, rows := s.executeGrid(jctx, sw, log)
 		cancel()
 		s.notes.Add(uint64(len(rep.Notes)))
 
@@ -462,22 +530,39 @@ func (s *Service) runSweep(ctx context.Context, sw *sweep) {
 			// the rest resumes on the next start. Not a failure.
 			s.interrupted.Add(1)
 			s.setState(sw, StateInterrupted, "interrupted by drain; resume to finish")
+			log.Warn("sweep interrupted by drain", "attempt", att, "rows_delivered", rows)
+			sw.events.finish()
 			return
 		case rep.OK():
 			if err := store.WriteFileAtomic(filepath.Join(s.sweepDir(sw.id), "report.csv"), []byte(csv)); err != nil {
 				s.setState(sw, StateFailed, fmt.Sprintf("writing report: %v", err))
+				log.Error("writing report failed", "err", err)
+				sw.events.finish()
 				return
 			}
+			sw.events.sweepDone(sw.id, rows)
 			s.setState(sw, StateDone, "")
+			log.Info("sweep done", "attempt", att, "rows", rows)
+			sw.events.finish()
 			return
 		case attempt >= s.cfg.MaxRetries || !retryable(rep):
-			s.setState(sw, StateFailed, failureSummary(rep))
+			summary := failureSummary(rep)
+			s.setState(sw, StateFailed, summary)
+			log.Error("sweep failed", "attempt", att, "retryable", retryable(rep), "failures", summary)
+			sw.events.finish()
 			return
 		}
 		// Transient failure: back off on the pinned deterministic schedule
 		// and re-run; finished sims replay from the checkpoint journal.
 		s.retried.Add(1)
-		s.backoffWait(ctx, backoffDelay(s.cfg.RetrySeed, sw.id, attempt, s.cfg.BackoffBase, s.cfg.BackoffCap))
+		d := backoffDelay(s.cfg.RetrySeed, sw.id, attempt, s.cfg.BackoffBase, s.cfg.BackoffCap)
+		if sum := s.backoffMs.Load(); sum != nil {
+			sum.Observe(float64(d.Milliseconds()))
+		}
+		log.Warn("sweep retrying after transient failure",
+			"attempt", att, "backoff_ms", d.Milliseconds(), "failures", failureSummary(rep))
+		sw.events.state(sw.id, "retrying", failureSummary(rep), att)
+		s.backoffWait(ctx, d)
 	}
 }
 
@@ -502,7 +587,7 @@ func (s *Service) backoffWait(ctx context.Context, d time.Duration) {
 // so the CSV is byte-identical for any worker count, any retry count and
 // any resume point — the determinism contract the reports inherit from
 // TestParallelDeterminism and TestCheckpointKillAndResume.
-func (s *Service) executeGrid(ctx context.Context, sw *sweep) (*runner.Report, string) {
+func (s *Service) executeGrid(ctx context.Context, sw *sweep, log *slog.Logger) (*runner.Report, string, int) {
 	req := sw.req
 	tab := stats.NewTable("sweep "+sw.id, "workload", "policy", "cycles_per_access", "walk_cycle_fraction")
 	var jobs []runner.Job
@@ -519,11 +604,20 @@ func (s *Service) executeGrid(ctx context.Context, sw *sweep) (*runner.Report, s
 				Seed:     req.Seed,
 				Fragment: req.Fragment,
 			}
+			// Result callbacks fire in submission order as the completed
+			// prefix grows (runner streaming delivery), so row index ==
+			// table row index, and each row event carries the exact CSV
+			// bytes the final report will contain.
+			idx := len(jobs)
 			jobs = append(jobs, runner.Sim(cfg, func(r *sim.Result) {
 				tab.AddRow(r.Workload, r.Policy, r.Perf.CyclesPerAccess, r.Perf.WalkCycleFraction)
+				sw.events.row(sw.id, idx, runner.Fingerprint(cfg), tab.RowCSV(idx))
 			}))
 		}
 	}
+	sw.events.sweepStarted(sw.id, len(jobs), tab.HeaderCSV())
+	s.inFlight.Store(int64(len(jobs)))
+	defer s.inFlight.Store(0)
 	rep := runner.Execute(jobs, runner.Options{
 		Parallelism: s.cfg.Parallelism,
 		Label:       "sweep/" + sw.id,
@@ -531,8 +625,35 @@ func (s *Service) executeGrid(ctx context.Context, sw *sweep) (*runner.Report, s
 		JobTimeout:  s.cfg.JobTimeout,
 		Checkpoint:  filepath.Join(s.sweepDir(sw.id), "checkpoint"),
 		Store:       s.cfg.Store,
+		Log:         log,
+		OnJob:       s.observeJob,
 	})
-	return rep, tab.CSV()
+	return rep, tab.CSV(), tab.NumRows()
+}
+
+// observeJob is the runner's submission-order delivery hook: it feeds the
+// job-latency summary and the per-source delivery counters, and walks the
+// in-flight gauge down as results land.
+func (s *Service) observeJob(name, source string, wallMs float64) {
+	_ = name
+	s.inFlight.Add(-1)
+	if sum := s.jobWallMs.Load(); sum != nil {
+		sum.Observe(wallMs)
+	}
+	switch source {
+	case "executed":
+		s.jobsExecuted.Add(1)
+	case "cache":
+		s.jobsCache.Add(1)
+	case "checkpoint":
+		s.jobsCheckpoint.Add(1)
+	case "store":
+		s.jobsStore.Add(1)
+	case "skipped":
+		s.jobsSkipped.Add(1)
+	default:
+		s.jobsFailed.Add(1)
+	}
 }
 
 // retryable classifies a report: panics are bugs (retrying reruns the same

@@ -199,6 +199,24 @@ func (t *Table) CSV() string {
 	return b.String()
 }
 
+// HeaderCSV renders the header row exactly as CSV() does, without the
+// trailing newline. The sweep service streams it in its event journal so
+// a replayed stream reassembles the report byte-for-byte.
+func (t *Table) HeaderCSV() string {
+	var b strings.Builder
+	writeCSVRow(&b, t.header)
+	return strings.TrimSuffix(b.String(), "\n")
+}
+
+// RowCSV renders data row i exactly as CSV() does, without the trailing
+// newline. CSV() == HeaderCSV() + "\n" + RowCSV(0) + "\n" + ... by
+// construction; TestRowCSVReassemblesCSV pins it.
+func (t *Table) RowCSV(i int) string {
+	var b strings.Builder
+	writeCSVRow(&b, t.rows[i])
+	return strings.TrimSuffix(b.String(), "\n")
+}
+
 func writeCSVRow(b *strings.Builder, cells []string) {
 	for i, c := range cells {
 		if i > 0 {

@@ -138,6 +138,28 @@ func TestTableCSVQuoting(t *testing.T) {
 	}
 }
 
+// TestRowCSVReassemblesCSV pins the contract the sweep service's event
+// stream depends on: HeaderCSV + RowCSV(i) joined by newlines is CSV()
+// byte-for-byte, quoting included, so a replayed stream reassembles the
+// report exactly.
+func TestRowCSVReassemblesCSV(t *testing.T) {
+	tbl := NewTable("", "a", "b")
+	tbl.AddRow("plain", 1.5)
+	tbl.AddRow("x,y", `say "hi"`)
+	tbl.AddRow("multi\nline", 2)
+	var b strings.Builder
+	b.WriteString(tbl.HeaderCSV() + "\n")
+	for i := 0; i < tbl.NumRows(); i++ {
+		b.WriteString(tbl.RowCSV(i) + "\n")
+	}
+	if got, want := b.String(), tbl.CSV(); got != want {
+		t.Errorf("reassembly != CSV():\n--- reassembly ---\n%s--- CSV ---\n%s", got, want)
+	}
+	if strings.ContainsRune(tbl.HeaderCSV(), '\n') {
+		t.Errorf("HeaderCSV carries a newline: %q", tbl.HeaderCSV())
+	}
+}
+
 func TestTableAccessors(t *testing.T) {
 	tbl := NewTable("t", "x", "y")
 	tbl.AddRow(1, 2)

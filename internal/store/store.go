@@ -1,10 +1,12 @@
 package store
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"log/slog"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -69,6 +71,7 @@ type Store struct {
 	d     Driver
 	retry Retry
 	sleep func(time.Duration) // test seam; time.Sleep in production
+	log   atomic.Pointer[slog.Logger]
 
 	gets, puts, hits, misses, corrupt, retries, putErrs, getErrs atomic.Uint64
 }
@@ -95,6 +98,20 @@ func Open(url string) (*Store, error) {
 // Driver exposes the wrapped backend (tests reach through for
 // driver-specific assertions like Mem.QuarantinedKeys).
 func (s *Store) Driver() Driver { return s.d }
+
+// SetLogger attaches a structured logger for the store's durability
+// incidents: transient-failure retries, quarantined entries, exhausted
+// retry budgets. nil detaches it. Logging is diagnostics only — outcomes
+// (and the Stats counters) are identical with or without a logger.
+// Safe to call concurrently with operations.
+func (s *Store) SetLogger(log *slog.Logger) { s.log.Store(log) }
+
+// logWith emits one record if a logger is attached.
+func (s *Store) logWith(level slog.Level, msg string, args ...any) {
+	if log := s.log.Load(); log != nil {
+		log.Log(context.Background(), level, msg, args...)
+	}
+}
 
 // seal wraps payload in the checksummed envelope:
 //
@@ -138,12 +155,14 @@ func unseal(data []byte) ([]byte, error) {
 
 // withRetry runs op up to retry.Attempts times, sleeping the pinned
 // backoff between transient failures. Non-transient errors return
-// immediately.
-func (s *Store) withRetry(op func() error) error {
+// immediately. opName/key feed the retry diagnostics.
+func (s *Store) withRetry(opName, key string, op func() error) error {
 	var err error
 	for attempt := 0; attempt < s.retry.Attempts; attempt++ {
 		if attempt > 0 {
 			s.retries.Add(1)
+			s.logWith(slog.LevelWarn, "store retrying after transient failure",
+				"op", opName, "key", key, "attempt", attempt+1, "err", err)
 			s.sleep(s.retry.Delay(attempt - 1))
 		}
 		if err = op(); err == nil || !errors.Is(err, ErrTransient) {
@@ -160,9 +179,11 @@ func (s *Store) withRetry(op func() error) error {
 func (s *Store) Put(key string, payload []byte) error {
 	s.puts.Add(1)
 	sealed := seal(payload)
-	err := s.withRetry(func() error { return s.d.Put(key, sealed) })
+	err := s.withRetry("put", key, func() error { return s.d.Put(key, sealed) })
 	if err != nil {
 		s.putErrs.Add(1)
+		s.logWith(slog.LevelError, "store put exhausted retry budget (durability lost, correctness kept)",
+			"key", key, "err", err)
 	}
 	return err
 }
@@ -175,7 +196,7 @@ func (s *Store) Put(key string, payload []byte) error {
 func (s *Store) Get(key string) ([]byte, error) {
 	s.gets.Add(1)
 	var data []byte
-	err := s.withRetry(func() error {
+	err := s.withRetry("get", key, func() error {
 		var e error
 		data, e = s.d.Get(key)
 		return e
@@ -186,11 +207,14 @@ func (s *Store) Get(key string) ([]byte, error) {
 		return nil, ErrNotFound
 	case err != nil:
 		s.getErrs.Add(1)
+		s.logWith(slog.LevelError, "store get exhausted retry budget", "key", key, "err", err)
 		return nil, err
 	}
 	payload, verr := unseal(data)
 	if verr != nil {
 		s.corrupt.Add(1)
+		s.logWith(slog.LevelWarn, "store entry quarantined (will recompute, never trust)",
+			"key", key, "err", verr)
 		if qerr := s.d.Quarantine(key); qerr != nil {
 			return nil, fmt.Errorf("%w: %v (quarantine failed: %v)", ErrCorrupt, verr, qerr)
 		}
