@@ -57,9 +57,11 @@ benchjson:
 # Determinism & layering lint (tridentlint, DESIGN.md §8): type-resolved
 # wall-clock ban in the simulated world, math/rand confined to
 # internal/xrand, no order-sensitive emission from map iteration, the
-# declared import DAG, and sim.Config/memo-key coverage. The second half
-# is the negative gate: the seeded-violation fixture must still make the
-# linter exit 1, so the checks themselves cannot silently rot.
+# declared import DAG, sim.Config/memo-key coverage, and the
+# interprocedural call-graph checks (detertaint, errdrop, lockflow,
+# ctxleak). The second half is the negative gate: the seeded-violation
+# fixture must still make the linter exit 1 — as a whole and per
+# interprocedural check — so the checks themselves cannot silently rot.
 lint:
 	$(GO) run ./cmd/tridentlint ./...
 	@rc=0; $(GO) run ./cmd/tridentlint internal/lint/testdata/bad >/dev/null || rc=$$?; \
@@ -67,6 +69,13 @@ lint:
 	  echo "tridentlint negative gate: exit $$rc on seeded violations, want 1" >&2; \
 	  exit 1; \
 	fi
+	@for check in detertaint errdrop lockflow ctxleak; do \
+	  rc=0; $(GO) run ./cmd/tridentlint -checks $$check internal/lint/testdata/bad >/dev/null || rc=$$?; \
+	  if [ "$$rc" -ne 1 ]; then \
+	    echo "tridentlint negative gate ($$check): exit $$rc on seeded violations, want 1" >&2; \
+	    exit 1; \
+	  fi; \
+	done
 
 # Profiling entry point: one BenchmarkFigure9 iteration with CPU and heap
 # profiles into report/profile/ (gitignored), so the next perf PR starts

@@ -22,9 +22,18 @@ go vet ./...
 # Determinism & layering lint (tridentlint, DESIGN.md §8): type-resolved
 # wall-clock ban in the simulated world, math/rand confined to
 # internal/xrand, no order-sensitive emission from map iteration, the
-# declared import DAG, sim.Config/memo-key coverage, and memo-key purity
-# (no logging/observability inside key computation). Self-clean gate:
+# declared import DAG, sim.Config/memo-key coverage, memo-key purity, and
+# the interprocedural call-graph checks — ambient-source taint into
+# results/reports/journals/memo keys (detertaint), discarded durability
+# errors (errdrop), mutex misuse (lockflow), unstoppable serving-path
+# goroutines (ctxleak). Self-clean gate:
 go run ./cmd/tridentlint ./...
+
+# Archive the machine-readable self-scan next to the bench history so a
+# regression investigation can diff findings across PRs. report/ is
+# gitignored; the archive is best-effort local evidence, not a gate.
+mkdir -p report
+go run ./cmd/tridentlint -json ./... >report/tridentlint.json
 
 # Negative gate: the linter must still fire on the seeded-violation
 # fixture module, exiting 1 (findings) — not 0 (rotted checks) and not 2
@@ -32,6 +41,15 @@ go run ./cmd/tridentlint ./...
 lintrc=0
 go run ./cmd/tridentlint internal/lint/testdata/bad >/dev/null || lintrc=$?
 test "$lintrc" -eq 1
+
+# Per-check negative gate: each interprocedural check must fire on its own
+# seeded violations when run alone — a check that stops registering or
+# stops matching its fixture exits 0 here and fails the gate.
+for check in detertaint errdrop lockflow ctxleak; do
+  rc=0
+  go run ./cmd/tridentlint -checks "$check" internal/lint/testdata/bad >/dev/null || rc=$?
+  test "$rc" -eq 1
+done
 
 go test ./...
 go test -race ./internal/runner ./internal/stats ./internal/obs ./internal/store ./internal/service

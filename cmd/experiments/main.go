@@ -234,7 +234,13 @@ Examples:
 			return err
 		}
 		st.SetLogger(slog.Default().With("component", "store"))
-		defer st.Close()
+		defer func() {
+			// Close flushes the store; a failed flush means results this
+			// run believed durable may not be on disk.
+			if cerr := st.Close(); cerr != nil {
+				slog.Error("closing store (published results may not be durable)", "err", cerr)
+			}
+		}()
 		settings.Store = st
 	}
 
@@ -402,7 +408,13 @@ func runServe(out, addr, storeURL string, parallel int, timeout time.Duration, s
 			return err
 		}
 		st.SetLogger(slog.Default().With("component", "store"))
-		defer st.Close()
+		defer func() {
+			// Close flushes the store; a failed flush means results this
+			// run believed durable may not be on disk.
+			if cerr := st.Close(); cerr != nil {
+				slog.Error("closing store (published results may not be durable)", "err", cerr)
+			}
+		}()
 	}
 	svc, err := service.New(service.Config{
 		Dir:         out,

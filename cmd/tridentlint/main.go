@@ -13,12 +13,16 @@
 // negative gate — that directory carries its own go.mod, so the seeded
 // violations load as an independent module.
 //
-// Exit status: 0 clean, 1 findings reported, 2 load/type-check failure.
+// Exit status (pinned by TestRunExitCodes): 0 clean, 1 findings reported,
+// 2 usage or load/type-check failure. Findings from every module root are
+// merged and sorted by position before printing, so the output is
+// byte-identical regardless of pattern order.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -27,58 +31,74 @@ import (
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of file:line text")
-	checksFlag := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
-	list := flag.Bool("list", false, "list registered checks and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole CLI, factored for testing: parse flags, resolve module
+// roots, lint each, merge + sort, print. Returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tridentlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of file:line text")
+	checksFlag := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := fs.Bool("list", false, "list registered checks and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	checks := lint.Checks()
 	if *list {
 		for _, c := range checks {
-			fmt.Printf("%-12s %s\n", c.Name, c.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", c.Name, c.Doc)
 		}
-		return
+		return 0
 	}
 	if *checksFlag != "" {
-		checks = selectChecks(checks, *checksFlag)
+		var err error
+		if checks, err = selectChecks(checks, *checksFlag); err != nil {
+			fmt.Fprintln(stderr, "tridentlint:", err)
+			return 2
+		}
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"."}
 	}
 	roots, err := moduleRoots(patterns)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tridentlint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "tridentlint:", err)
+		return 2
 	}
 
 	var findings []lint.Finding
 	for _, root := range roots {
 		m, err := lint.Load(root)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "tridentlint:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "tridentlint:", err)
+			return 2
 		}
 		findings = append(findings, lint.Run(m, checks)...)
 	}
+	lint.SortFindings(findings)
 
 	if *jsonOut {
-		if err := lint.FindingsJSON(os.Stdout, findings); err != nil {
-			fmt.Fprintln(os.Stderr, "tridentlint:", err)
-			os.Exit(2)
+		if err := lint.FindingsJSON(stdout, findings); err != nil {
+			fmt.Fprintln(stderr, "tridentlint:", err)
+			return 2
 		}
 	} else {
 		for _, f := range findings {
-			fmt.Println(f)
+			fmt.Fprintln(stdout, f)
 		}
 	}
 	if len(findings) > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
-func selectChecks(all []lint.Check, names string) []lint.Check {
+func selectChecks(all []lint.Check, names string) ([]lint.Check, error) {
 	byName := map[string]lint.Check{}
 	for _, c := range all {
 		byName[c.Name] = c
@@ -91,12 +111,11 @@ func selectChecks(all []lint.Check, names string) []lint.Check {
 		}
 		c, ok := byName[n]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "tridentlint: unknown check %q (see -list)\n", n)
-			os.Exit(2)
+			return nil, fmt.Errorf("unknown check %q (see -list)", n)
 		}
 		out = append(out, c)
 	}
-	return out
+	return out, nil
 }
 
 // moduleRoots resolves patterns to their deduplicated enclosing module

@@ -99,7 +99,13 @@ func main() {
 		if st, err = store.Open(*storeURL); err != nil {
 			fatalf("opening store: %v", err)
 		}
-		defer st.Close()
+		defer func() {
+			// Close flushes the store; a failed flush means the result
+			// published below may not actually be on disk.
+			if cerr := st.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "warning: closing store (published result may not be durable): %v\n", cerr)
+			}
+		}()
 		if data, err := st.Get(fp); err == nil {
 			var res trident.Result
 			if err := json.Unmarshal(data, &res); err == nil {

@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadGraph loads the callgraph fixture module and builds its graph.
+func loadGraph(t *testing.T) (*Module, *callGraph) {
+	t.Helper()
+	m := load(t, filepath.Join("testdata", "callgraph"))
+	return m, m.graph()
+}
+
+// nodeByLabel finds a graph node by its diagnostic label.
+func nodeByLabel(t *testing.T, g *callGraph, label string) *callNode {
+	t.Helper()
+	for _, n := range g.funcs {
+		if n.label() == label {
+			return n
+		}
+	}
+	var all []string
+	for _, n := range g.funcs {
+		all = append(all, n.label())
+	}
+	t.Fatalf("no node labeled %q; have: %s", label, strings.Join(all, ", "))
+	return nil
+}
+
+// edgeLabels splits a node's edges into static and dynamic callee labels,
+// in source-encounter order, deduplicated.
+func edgeLabels(n *callNode) (static, dynamic []string) {
+	seenS, seenD := map[string]bool{}, map[string]bool{}
+	for _, e := range n.edges {
+		l := e.callee.label()
+		if e.dynamic {
+			if !seenD[l] {
+				seenD[l] = true
+				dynamic = append(dynamic, l)
+			}
+		} else if !seenS[l] {
+			seenS[l] = true
+			static = append(static, l)
+		}
+	}
+	return static, dynamic
+}
+
+func TestCallGraphStaticAndInterfaceDispatch(t *testing.T) {
+	_, g := loadGraph(t)
+	run := nodeByLabel(t, g, "internal/graph.Run")
+	static, dynamic := edgeLabels(run)
+
+	if len(static) != 1 || static[0] != "internal/graph.step" {
+		t.Errorf("Run static edges = %v, want exactly internal/graph.step", static)
+	}
+	// d.Put over-approximates to every module implementor of Driver,
+	// sorted by label (Disk before Mem).
+	want := []string{"(*internal/graph.Disk).Put", "(*internal/graph.Mem).Put"}
+	if strings.Join(dynamic, "|") != strings.Join(want, "|") {
+		t.Errorf("Run dynamic edges = %v, want %v", dynamic, want)
+	}
+	if run.callsUnknown {
+		t.Error("Run marked callsUnknown; every call in it resolves")
+	}
+}
+
+func TestCallGraphMethodValueReference(t *testing.T) {
+	_, g := loadGraph(t)
+	handle := nodeByLabel(t, g, "(*internal/graph.Watcher).Handle")
+	_, dynamic := edgeLabels(handle)
+	found := false
+	for _, l := range dynamic {
+		if l == "(*internal/graph.Watcher).observe" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Handle dynamic edges = %v, want a may-run edge to observe (method value in Hooks literal)", dynamic)
+	}
+}
+
+func TestCallGraphUnresolvableCalls(t *testing.T) {
+	_, g := loadGraph(t)
+	apply := nodeByLabel(t, g, "internal/graph.Apply")
+	if !apply.callsUnknown {
+		t.Error("Apply calls through a function-typed parameter and must be callsUnknown")
+	}
+	if s, d := edgeLabels(apply); len(s)+len(d) != 0 {
+		t.Errorf("Apply has edges %v/%v, want none", s, d)
+	}
+}
+
+func TestCallGraphRecursionAndClosure(t *testing.T) {
+	_, g := loadGraph(t)
+	fib := nodeByLabel(t, g, "internal/graph.Fib")
+	static, _ := edgeLabels(fib)
+	if len(static) != 1 || static[0] != "internal/graph.Fib" {
+		t.Errorf("Fib static edges = %v, want a self-edge only", static)
+	}
+
+	// closure terminates on cycles: seed the mutually-recursive pair.
+	odd := nodeByLabel(t, g, "internal/graph.Odd")
+	even := nodeByLabel(t, g, "internal/graph.Even")
+	member, why := g.closure(map[*callNode]string{odd: "is the base"})
+	if !member[even] {
+		t.Error("Even calls Odd; closure must include it")
+	}
+	if want := "calls internal/graph.Odd, which is the base"; why[even] != want {
+		t.Errorf("why[Even] = %q, want %q", why[even], want)
+	}
+	if !member[odd] || why[odd] != "is the base" {
+		t.Errorf("base node lost: member=%v why=%q", member[odd], why[odd])
+	}
+
+	// A call made inside a function literal belongs to the enclosing
+	// declaration: seeding step must pull in Spawn (and Run).
+	step := nodeByLabel(t, g, "internal/graph.step")
+	member, _ = g.closure(map[*callNode]string{step: "hits the disk"})
+	if spawn := nodeByLabel(t, g, "internal/graph.Spawn"); !member[spawn] {
+		t.Error("Spawn's closure calls step; the edge must be attributed to Spawn")
+	}
+	if run := nodeByLabel(t, g, "internal/graph.Run"); !member[run] {
+		t.Error("Run calls step directly; closure must include it")
+	}
+}
+
+// TestCallGraphLoaderSkips pins the loader contract the graph builds on:
+// nested modules and testdata trees are invisible, and the graph is built
+// once and cached per Module.
+func TestCallGraphLoaderSkips(t *testing.T) {
+	m, g := loadGraph(t)
+	if pkg := m.ByRel("internal/nested"); pkg != nil {
+		t.Error("nested module (own go.mod) was loaded; the loader must skip it")
+	}
+	for _, pkg := range m.Packages {
+		if strings.Contains(pkg.Rel, "nested") || strings.Contains(pkg.Rel, "testdata") {
+			t.Errorf("loader picked up %s; nested modules and testdata dirs must be skipped", pkg.Rel)
+		}
+	}
+	for _, n := range g.funcs {
+		if n.fn.Name() == "NestedMarker" || n.fn.Name() == "Skipped" {
+			t.Errorf("graph contains %s from a skipped tree", n.label())
+		}
+	}
+	if m.graph() != g {
+		t.Error("graph() must cache: two calls returned distinct instances")
+	}
+}

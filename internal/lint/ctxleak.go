@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkCtxLeak forbids unstoppable goroutines on the serving path: every
+// `go` statement in internal/service, internal/runner and internal/store
+// must consult an externally-owned stop signal — ctx.Done()/ctx.Err() on
+// a context that flows in from outside the goroutine, or a receive /
+// range / select over a channel owned outside it — either in the spawned
+// body itself or in a module function the goroutine (transitively)
+// calls, where the signal is a parameter of that callee.
+//
+// The drain contract (DESIGN.md §9) relies on this: SIGTERM can only
+// drain a service whose every goroutine has a reason to exit. A
+// goroutine that loops forever without a stop signal survives drain and
+// leaks past Close.
+//
+// A signal consulted on a locally-created value (a context or channel
+// made inside the goroutine) does not count — nobody outside can fire
+// it. Spawns whose target cannot be resolved (function values) are
+// flagged: stoppability must be provable. Test files are exempt.
+func checkCtxLeak(m *Module) []Finding {
+	scope := map[string]bool{"internal/service": true, "internal/runner": true, "internal/store": true}
+	g := m.graph()
+	var out []Finding
+	for _, n := range g.funcs {
+		if !scope[n.pkg.Rel] || n.decl.Body == nil {
+			continue
+		}
+		ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+			gs, ok := node.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !stoppable(g, n.pkg, gs) {
+				out = append(out, m.finding(gs.Pos(), "ctxleak",
+					"goroutine has no reachable stop signal: it must select on a context.Done/Err or an externally-owned channel (directly or in a module callee) so drain can terminate it"))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// stoppable proves the spawned goroutine consults a stop signal.
+func stoppable(g *callGraph, pkg *Package, gs *ast.GoStmt) bool {
+	info := pkg.Info
+	switch fun := peel(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		// Signal roots must come from outside the literal: captured
+		// variables or the literal's own parameters (wired by the caller).
+		outside := func(obj types.Object) bool {
+			return obj != nil && !(fun.Body.Pos() <= obj.Pos() && obj.Pos() <= fun.Body.End())
+		}
+		if consultsStop(info, fun.Body, outside) {
+			return true
+		}
+		return calleesConsultStop(g, pkg, fun.Body)
+	default:
+		// Named function (or method value): the signal must be one of its
+		// parameters.
+		if fn, ok := calleeFunc(info, gs.Call); ok {
+			if node := g.nodeOf(fn); node != nil {
+				return nodeConsultsStop(g, node, map[*callNode]bool{})
+			}
+		}
+		return false // unresolvable spawn target: cannot prove stoppable
+	}
+}
+
+func calleeFunc(info *types.Info, call *ast.CallExpr) (*types.Func, bool) {
+	fn := staticCallee(info, call)
+	return fn, fn != nil
+}
+
+// calleesConsultStop walks the module functions a body calls and asks
+// whether any of them consults a parameter-rooted stop signal.
+func calleesConsultStop(g *callGraph, pkg *Package, body *ast.BlockStmt) bool {
+	var work []*callNode
+	ast.Inspect(body, func(node ast.Node) bool {
+		if call, ok := node.(*ast.CallExpr); ok {
+			if fn := staticCallee(pkg.Info, call); fn != nil {
+				if n := g.nodeOf(fn); n != nil {
+					work = append(work, n)
+				}
+			}
+		}
+		return true
+	})
+	seen := map[*callNode]bool{}
+	for _, n := range work {
+		if nodeConsultsStop(g, n, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// nodeConsultsStop: does this function (or, transitively, a static module
+// callee) consult a stop signal rooted in one of its parameters?
+func nodeConsultsStop(g *callGraph, n *callNode, seen map[*callNode]bool) bool {
+	if seen[n] {
+		return false
+	}
+	seen[n] = true
+	if n.decl.Body == nil {
+		return false
+	}
+	params := map[types.Object]bool{}
+	for _, p := range funcParams(n) {
+		if p != nil {
+			params[p] = true
+		}
+	}
+	isParam := func(obj types.Object) bool { return params[obj] }
+	if consultsStop(n.pkg.Info, n.decl.Body, isParam) {
+		return true
+	}
+	for _, e := range n.edges {
+		if !e.dynamic && nodeConsultsStop(g, e.callee, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// consultsStop scans a body for stop-signal consultation where the signal
+// root satisfies isExternal: ctx.Done()/ctx.Err() calls, channel
+// receives, and ranges over channels.
+func consultsStop(info *types.Info, body *ast.BlockStmt, isExternal func(types.Object) bool) bool {
+	found := false
+	rootOK := func(e ast.Expr) bool {
+		obj, _ := pathOf(info, e)
+		return obj != nil && isExternal(obj)
+	}
+	ast.Inspect(body, func(node ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := node.(type) {
+		case *ast.CallExpr:
+			sel, ok := peel(x.Fun).(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Done" && sel.Sel.Name != "Err") {
+				return true
+			}
+			if t := info.TypeOf(sel.X); t != nil && isContext(t) && rootOK(sel.X) {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && isChanExpr(info, x.X) && rootOK(x.X) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if isChanExpr(info, x.X) && rootOK(x.X) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isChanExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	return t != nil && isChanType(t)
+}
+
+func isContext(t types.Type) bool {
+	n := derefNamed(t)
+	return n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "context" && n.Obj().Name() == "Context"
+}

@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkErrDrop forbids discarded errors on durability paths. The crash
+// gate (DESIGN.md §9) only holds if every byte the service acknowledges
+// was really persisted — and fsync/rename/close are exactly the calls
+// whose errors arrive after the data "looked" written. A dropped error
+// there turns kill -9 recovery into a lottery.
+//
+// The durability set D is computed interprocedurally: every function in
+// internal/store, internal/runner or internal/service that transitively
+// (call-graph closure, interface dispatch over-approximated) reaches a
+// direct durable-IO operation — (*os.File).Write/WriteString/WriteAt/
+// Sync/Truncate, os.Rename, os.WriteFile, os.OpenFile. Two finding
+// shapes:
+//
+//   - inside a D function, a direct durable-IO error discarded via a bare
+//     expression statement, `_ =`, defer, or go;
+//   - anywhere in the module, a discarded error from a call to an
+//     error-returning D function (dropping store.Flush()'s error in a cmd
+//     is the same bug one layer up).
+//
+// os.Remove is deliberately absent from the op table: best-effort temp
+// cleanup is legal. Calls through function-typed values do not extend D
+// (documented precision limit).
+func checkErrDrop(m *Module) []Finding {
+	g := m.graph()
+	scope := map[string]bool{"internal/store": true, "internal/runner": true, "internal/service": true}
+
+	// Base: functions performing durable IO directly.
+	direct := map[*callNode]string{}
+	for _, n := range g.funcs {
+		if n.decl.Body == nil {
+			continue
+		}
+		info := n.pkg.Info
+		ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if op := durableOp(info, call); op != "" && direct[n] == "" && scope[n.pkg.Rel] {
+				direct[n] = "performs durable file IO (" + op + ")"
+			}
+			return true
+		})
+	}
+	member, why := g.closure(direct)
+
+	var out []Finding
+	for _, n := range g.funcs {
+		if n.decl.Body == nil {
+			continue
+		}
+		info := n.pkg.Info
+		inD := member[n] && scope[n.pkg.Rel]
+
+		flag := func(call *ast.CallExpr, how string) {
+			// Direct durable op dropped inside a D function.
+			if inD {
+				if op := droppableOp(info, call); op != "" {
+					out = append(out, m.finding(call.Pos(), "errdrop",
+						"%s error %s inside %s, which %s: on a durability path every Write/Sync/Rename/Close error must be handled",
+						op, how, n.label(), why[n]))
+					return
+				}
+			}
+			// Dropped error from a call into D, from anywhere.
+			callee := staticCallee(info, call)
+			var cn *callNode
+			if callee != nil {
+				cn = g.nodeOf(callee)
+			} else if sel, ok := peel(call.Fun).(*ast.SelectorExpr); ok {
+				// Interface dispatch: over-approximate with the
+				// implements-set; any D implementor makes the call durable.
+				if fn, ok := info.Uses[sel.Sel].(*types.Func); ok {
+					if s := info.Selections[sel]; s != nil && isInterface(s.Recv()) {
+						for _, impl := range g.implementors(n.pkg, s.Recv(), fn) {
+							if member[impl] {
+								cn = impl
+								break
+							}
+						}
+					}
+				}
+			}
+			if cn != nil && member[cn] && returnsError(cn.fn) {
+				out = append(out, m.finding(call.Pos(), "errdrop",
+					"error from %s %s: that call %s — a dropped error can acknowledge unpersisted state",
+					cn.label(), how, why[cn]))
+			}
+		}
+
+		ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+			switch st := node.(type) {
+			case *ast.ExprStmt:
+				if call, ok := peel2(st.X).(*ast.CallExpr); ok {
+					flag(call, "discarded (bare call statement)")
+				}
+			case *ast.DeferStmt:
+				flag(st.Call, "discarded (deferred without capture)")
+			case *ast.GoStmt:
+				flag(st.Call, "discarded (go statement)")
+			case *ast.AssignStmt:
+				if len(st.Rhs) != 1 {
+					return true
+				}
+				call, ok := peel2(st.Rhs[0]).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				// `_ =` in an error result position.
+				for i, lhs := range st.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Name != "_" {
+						continue
+					}
+					if isErrorResult(info, call, i, len(st.Lhs)) {
+						flag(call, "assigned to _")
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// durableOp classifies a call as a direct durable-IO operation (the D
+// membership triggers).
+func durableOp(info *types.Info, call *ast.CallExpr) string {
+	fn := staticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	if recv := recvNamed(fn); recv != nil {
+		if recv.Obj().Pkg() != nil && recv.Obj().Pkg().Path() == "os" && recv.Obj().Name() == "File" {
+			switch fn.Name() {
+			case "Write", "WriteString", "WriteAt", "Sync", "Truncate":
+				return "(*os.File)." + fn.Name()
+			}
+		}
+		return ""
+	}
+	if fn.Pkg().Path() == "os" {
+		switch fn.Name() {
+		case "Rename", "WriteFile", "OpenFile":
+			return "os." + fn.Name()
+		}
+	}
+	return ""
+}
+
+// droppableOp is the wider set whose dropped errors are flagged inside D:
+// the membership triggers plus (*os.File).Close — close errors surface
+// write-back failures.
+func droppableOp(info *types.Info, call *ast.CallExpr) string {
+	if op := durableOp(info, call); op != "" {
+		return op
+	}
+	fn := staticCallee(info, call)
+	if fn == nil || fn.Name() != "Close" {
+		return ""
+	}
+	if recv := recvNamed(fn); recv != nil && recv.Obj().Pkg() != nil &&
+		recv.Obj().Pkg().Path() == "os" && recv.Obj().Name() == "File" {
+		return "(*os.File).Close"
+	}
+	return ""
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func returnsError(fn *types.Func) bool {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Identical(sig.Results().At(i).Type(), errorType) {
+			return true
+		}
+	}
+	return false
+}
+
+// isErrorResult reports whether result position i of call (out of n
+// assigned positions) has type error.
+func isErrorResult(info *types.Info, call *ast.CallExpr, i, n int) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		if i >= tup.Len() || tup.Len() != n {
+			return false
+		}
+		return types.Identical(tup.At(i).Type(), errorType)
+	}
+	return n == 1 && i == 0 && types.Identical(t, errorType)
+}

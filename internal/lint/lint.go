@@ -42,6 +42,10 @@ func Checks() []Check {
 		{Name: "layering", Doc: "declared import DAG between package layers", Run: checkLayering},
 		{Name: "memokey", Doc: "sim.Config fields covered by runner memo key or exclusion list", Run: checkMemoKey},
 		{Name: "obspure", Doc: "memo-key computation free of logging and observability calls", Run: checkObsPure},
+		{Name: "detertaint", Doc: "no ambient-source value flow (any call depth) into results, reports, journals or memo keys", Run: checkDeterTaint},
+		{Name: "errdrop", Doc: "no discarded Write/Sync/Rename/Close errors on durability paths", Run: checkErrDrop},
+		{Name: "lockflow", Doc: "no blocking ops under held mutexes, double-locks, or locks copied by value", Run: checkLockFlow},
+		{Name: "ctxleak", Doc: "every serving-path goroutine reachable by a context or done-channel stop signal", Run: checkCtxLeak},
 	}
 }
 
@@ -87,8 +91,17 @@ func Run(m *Module, checks []Check) []Finding {
 		}
 		out = append(out, f)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+	SortFindings(out)
+	return out
+}
+
+// SortFindings orders findings by position (file, line, col), then check,
+// then message — the canonical reporting order. The CLI re-sorts after
+// merging multiple module roots so its output is deterministic regardless
+// of how the roots were listed.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
 		if a.File != b.File {
 			return a.File < b.File
 		}
@@ -103,7 +116,6 @@ func Run(m *Module, checks []Check) []Finding {
 		}
 		return a.Message < b.Message
 	})
-	return out
 }
 
 // directives scans every comment (test files included) for //lint:ignore.

@@ -43,6 +43,22 @@ func TestBadFixtureFindings(t *testing.T) {
 		{"memokey", "internal/sim/sim.go", "sim.Config.Extra is neither fingerprinted"},
 		{"wallclock", "internal/sim/sim.go", "time.Now in simulated-world package internal/sim"},
 		{"maporder", "internal/sim/sim.go", "fmt.Println inside range over map"},
+		// Interprocedural checks (PR 10). The first is the acceptance
+		// proof: a wall-clock read two call hops away from the Result
+		// assignment, invisible to the single-function wallclock check.
+		{"detertaint", "internal/experiments/experiments.go", "time.Now (via internal/runner.hostStamp) (via internal/runner.StampWrapper) reaches sim.Result field Stamp"},
+		{"detertaint", "internal/experiments/experiments.go", "os.Getenv reaches stats.Table.AddRow (report cell) via internal/experiments.emit (argument 1)"},
+		{"detertaint", "internal/experiments/experiments.go", "map iteration order reaches stats.Table.AddRow (report cell)"},
+		{"errdrop", "internal/experiments/experiments.go", "error from internal/store.Seal discarded (bare call statement)"},
+		{"errdrop", "internal/store/pub.go", "(*os.File).Write error discarded (bare call statement) inside internal/store.Publish"},
+		{"errdrop", "internal/store/pub.go", "(*os.File).Sync error discarded (bare call statement)"},
+		{"errdrop", "internal/store/pub.go", "(*os.File).Close error discarded (deferred without capture)"},
+		{"errdrop", "internal/store/pub.go", "os.Rename error assigned to _"},
+		{"lockflow", "internal/service/locks.go", "h.mu held across os.WriteFile"},
+		{"lockflow", "internal/service/locks.go", "h.mu held across channel receive"},
+		{"lockflow", "internal/service/locks.go", "locks h.mu, already held"},
+		{"lockflow", "internal/service/locks.go", "passes bad/internal/service.Hub by value, which contains sync.Mutex"},
+		{"ctxleak", "internal/service/locks.go", "goroutine has no reachable stop signal"},
 	}
 	if len(got) != len(wants) {
 		t.Errorf("got %d findings, want %d:", len(got), len(wants))
@@ -140,10 +156,11 @@ func TestSelfClean(t *testing.T) {
 	}
 }
 
-// TestCheckRegistry pins the six contract checks by name so a dropped
+// TestCheckRegistry pins the contract checks by name so a dropped
 // registration cannot go unnoticed.
 func TestCheckRegistry(t *testing.T) {
-	want := []string{"wallclock", "randomness", "maporder", "layering", "memokey", "obspure"}
+	want := []string{"wallclock", "randomness", "maporder", "layering", "memokey", "obspure",
+		"detertaint", "errdrop", "lockflow", "ctxleak"}
 	var got []string
 	for _, c := range Checks() {
 		got = append(got, c.Name)

@@ -60,6 +60,9 @@ type Module struct {
 	Packages []*Package
 
 	byRel map[string]*Package
+	// cg is the lazily-built module call graph ((*Module).graph()), shared
+	// by every interprocedural check.
+	cg *callGraph
 }
 
 // ByRel returns the package at a module-relative directory, or nil.

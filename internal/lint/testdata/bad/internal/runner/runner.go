@@ -8,6 +8,7 @@ package runner
 import (
 	"fmt"
 	"log/slog"
+	"time"
 )
 
 type cacheKey struct {
@@ -36,3 +37,16 @@ var _ = fingerprintKey
 
 // Touch exists so the fixture sim package has something to import.
 func Touch() {}
+
+// hostStamp reads the wall clock. The runner sits outside the wallclock
+// check's simulated-world scope, so that check stays silent here — only
+// the interprocedural taint analysis can follow the value onward.
+func hostStamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// StampWrapper is the second hop: the ambient value crosses two calls
+// before bad/internal/experiments assigns it into a sim.Result field.
+func StampWrapper() int64 {
+	return hostStamp()
+}

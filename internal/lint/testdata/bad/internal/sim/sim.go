@@ -22,6 +22,14 @@ type Config struct {
 	Shape    int
 }
 
+// Result mirrors the real sim.Result: the byte-identical output surface
+// detertaint protects. Stamp is the field bad/internal/experiments fills
+// from a two-hop wall-clock wrapper.
+type Result struct {
+	Cycles uint64
+	Stamp  int64
+}
+
 var _ = runner.Touch // layering: the simulated world must not import the engine above it
 
 // Stamp reads the wall clock through an aliased import — the exact hole

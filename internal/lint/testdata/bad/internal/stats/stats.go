@@ -1,0 +1,15 @@
+// Package stats mirrors the real report layer's Table just enough to be a
+// detertaint sink: any value flowing into an AddRow cell must be a pure
+// function of sim.Config. A leaf package — it imports nothing
+// module-internal, so the leaf layering rule stays quiet.
+package stats
+
+// Table is the report grid the detertaint check protects.
+type Table struct {
+	rows []string
+}
+
+// AddRow appends report cells.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells...)
+}

@@ -1,0 +1,3 @@
+module cg
+
+go 1.22

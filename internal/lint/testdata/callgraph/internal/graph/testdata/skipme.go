@@ -1,0 +1,5 @@
+// This file lives under a testdata directory inside the fixture module:
+// the loader must not parse or type-check it.
+package skipme
+
+func Skipped() {}

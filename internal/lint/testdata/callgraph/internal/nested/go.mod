@@ -1,0 +1,3 @@
+module nested
+
+go 1.22

@@ -1,0 +1,5 @@
+// A nested module: its own go.mod makes it a separate module, which the
+// loader must skip entirely.
+package nested
+
+func NestedMarker() {}

@@ -4,7 +4,17 @@
 // obspure check stays quiet.
 package runner
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
+
+// Elapsed reads the wall clock for progress logging — legal in the
+// runner: the value never reaches a result, report, journal or memo key,
+// so detertaint has no sink to connect it to.
+func Elapsed(since time.Time) int64 {
+	return time.Since(since).Milliseconds()
+}
 
 type cacheKey struct {
 	workload int

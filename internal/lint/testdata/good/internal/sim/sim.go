@@ -19,6 +19,18 @@ type Config struct {
 // Recorder is a stand-in for an observability hook.
 type Recorder struct{}
 
+// Result is the deterministic output surface: every field a pure function
+// of Config.
+type Result struct {
+	Cycles uint64
+}
+
+// Finish fills the result from computed state only — detertaint must see
+// nothing ambient here.
+func Finish(r *Result, cycles uint64) {
+	r.Cycles = cycles
+}
+
 // Tick is duration arithmetic, not a clock read — legal everywhere.
 const Tick = 5 * time.Millisecond
 

@@ -1,0 +1,14 @@
+// Package stats is the clean twin of the report layer: a Table whose
+// cells are only ever fed deterministically. A leaf package — it imports
+// nothing module-internal.
+package stats
+
+// Table is the report grid.
+type Table struct {
+	rows []string
+}
+
+// AddRow appends report cells.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells...)
+}

@@ -1,9 +1,35 @@
 // Package store is the clean twin of the storage layer: a backend that
-// imports nothing above it and nothing from the simulated machine.
+// imports nothing above it and nothing from the simulated machine, and
+// whose durable publish path handles every IO error (errdrop's positive
+// example).
 package store
+
+import (
+	"errors"
+	"os"
+)
 
 // Driver is the backend seam (drivers, not rewrites).
 type Driver interface {
 	Put(key string, data []byte) error
 	Get(key string) ([]byte, error)
+}
+
+// Publish is the atomic-publish protocol with every durable-IO error
+// surfaced: write, sync, close and rename all propagate.
+func Publish(path string, data []byte) error {
+	f, err := os.OpenFile(path+".tmp", os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	if err := f.Sync(); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(path+".tmp", path)
 }

@@ -57,8 +57,12 @@ func storeLoad(st *store.Store, fp string) (*sim.Result, error) {
 	var res sim.Result
 	if uerr := json.Unmarshal(data, &res); uerr != nil {
 		// The envelope verified but the payload does not decode — a writer
-		// bug, not a torn write. Quarantine and recompute all the same.
-		_ = st.Driver().Quarantine(fp)
+		// bug, not a torn write. Quarantine and recompute all the same. A
+		// failed quarantine leaves the bad entry live for the next reader,
+		// so it rides along in the surfaced note.
+		if qerr := st.Driver().Quarantine(fp); qerr != nil {
+			return nil, fmt.Errorf("runner: store entry %s.. verified but undecodable (quarantine also failed: %v), recomputing: %w", fp[:12], qerr, uerr)
+		}
 		return nil, fmt.Errorf("runner: store entry %s.. verified but undecodable, quarantined and recomputing: %w", fp[:12], uerr)
 	}
 	return &res, nil

@@ -103,6 +103,11 @@ type eventLog struct {
 	// loaded: journal was recovered from disk (sweep finished in an
 	// earlier process; this one only replays).
 	loaded bool
+	// ioErr records the first journal-file write error of the attempt;
+	// finish() surfaces it. A failed journal write degrades observability,
+	// never the sweep — the report stays the source of truth — but the
+	// failure must reach a log line, not vanish.
+	ioErr error
 	// onEmit, when non-nil, is called once per emitted event (metrics).
 	onEmit func()
 }
@@ -114,20 +119,26 @@ func newEventLog(path string, onEmit func()) *eventLog {
 // begin opens a fresh attempt: the journal file is truncated and the
 // in-memory journal reset, so replayed checkpoint results rebuild an
 // identical journal and the file never mixes events of two attempts.
+// The open and the close of any previous attempt's file happen outside
+// l.mu — only the pointer swap needs the lock.
 func (l *eventLog) begin() error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.f != nil {
-		l.f.Close()
-	}
 	f, err := os.OpenFile(l.path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("service: opening event journal: %w", err)
 	}
+	l.mu.Lock()
+	old := l.f
 	l.f = f
 	l.journal = l.journal[:0]
 	l.finished = false
 	l.loaded = false
+	l.ioErr = nil
+	l.mu.Unlock()
+	if old != nil {
+		if err := old.Close(); err != nil {
+			return fmt.Errorf("service: closing previous event journal: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -141,9 +152,13 @@ func (l *eventLog) journaled(render func(seq int) string) {
 	line := render(len(l.journal))
 	l.journal = append(l.journal, line)
 	if l.f != nil {
-		// A failed journal write degrades observability, never the sweep:
-		// the report is the source of truth and replay falls back to it.
-		l.f.WriteString(line + "\n") //nolint:errcheck
+		// The seq assignment and the file append are one atomic step —
+		// that is the whole point of this lock — so this is the one
+		// journal write that stays inside the critical section.
+		//lint:ignore lockflow seq assignment and journal append must be atomic; the write is bounded and DESIGN.md §10 documents the tradeoff
+		if _, err := l.f.WriteString(line + "\n"); err != nil && l.ioErr == nil {
+			l.ioErr = err
+		}
 	}
 	l.appendStreamLocked(line)
 	l.mu.Unlock()
@@ -166,29 +181,52 @@ func (l *eventLog) appendStreamLocked(line string) {
 }
 
 // finish seals the attempt: the journal file is synced and closed, and
-// subscribers are woken so they can drain and disconnect.
-func (l *eventLog) finish() {
+// subscribers are woken so they can drain and disconnect. The file is
+// detached under l.mu and synced outside it — once l.f is nil no
+// journaled() call can write, so the sync races with nothing. The
+// returned error is the attempt's first journal IO failure (write, sync
+// or close); callers log it, because a journal that silently lost bytes
+// would break the event-replay gate with no trace.
+func (l *eventLog) finish() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.f != nil {
-		l.f.Sync() //nolint:errcheck
-		l.f.Close()
-		l.f = nil
-	}
+	f := l.f
+	l.f = nil
 	l.finished = true
+	err := l.ioErr
 	close(l.notify)
 	l.notify = make(chan struct{})
+	l.mu.Unlock()
+	if f != nil {
+		if serr := f.Sync(); serr != nil && err == nil {
+			err = serr
+		}
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // load recovers the journal from disk for a sweep that finished in an
 // earlier process (Resume path): subscribers replay it even though no
-// events were emitted in this process. Idempotent; holds l.mu.
-func (l *eventLog) loadLocked() {
+// events were emitted in this process. Idempotent. The disk read happens
+// outside l.mu; the install is double-checked, so a concurrent begin()
+// (which would truncate the file mid-read) simply wins — its non-nil l.f
+// vetoes the install.
+func (l *eventLog) load() {
+	l.mu.Lock()
+	need := !l.loaded && len(l.journal) == 0 && l.f == nil
+	l.mu.Unlock()
+	if !need {
+		return
+	}
+	data, err := os.ReadFile(l.path)
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.loaded || len(l.journal) > 0 || l.f != nil {
 		return
 	}
 	l.loaded = true
-	data, err := os.ReadFile(l.path)
 	if err != nil {
 		return // no journal (pre-observability sweep dir): stream is empty
 	}
@@ -204,9 +242,9 @@ func (l *eventLog) loadLocked() {
 // finished flag and the broadcast channel. The subscriber writes the
 // returned lines, then follows the stream from cursor via next().
 func (l *eventLog) replay(after int) (lines []string, cursor int, finished bool, notify <-chan struct{}) {
+	l.load()
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.loadLocked()
 	if after < len(l.journal) {
 		lines = append(lines, l.journal[max(after+1, 0):]...)
 	}

@@ -292,8 +292,22 @@ func validate(req SweepRequest) error {
 
 // Submit admits one sweep. It returns the (possibly pre-existing) sweep
 // snapshot; the error, when non-nil, is ErrDraining, ErrQueueFull,
-// ErrClientBusy or a validation error.
+// ErrClientBusy or a validation error. The checkpoint-directory scan that
+// fills Completed runs after the admission critical section releases s.mu.
 func (s *Service) Submit(req SweepRequest) (Sweep, error) {
+	snap, err := s.submit(req)
+	if err != nil {
+		return snap, err
+	}
+	snap.Completed = s.completed(snap.ID)
+	return snap, nil
+}
+
+// submit is Submit's admission critical section: everything between
+// validation and the returned snapshot happens under s.mu, including the
+// durable request journaling — an accepted sweep must be on disk before
+// any concurrent same-id submitter can observe it as admitted.
+func (s *Service) submit(req SweepRequest) (Sweep, error) {
 	if err := validate(req); err != nil {
 		return Sweep{}, err
 	}
@@ -332,12 +346,17 @@ func (s *Service) Submit(req SweepRequest) (Sweep, error) {
 	if !ok {
 		sw = s.newSweep(id, req)
 		// Durably journal the request before acknowledging: an accepted
-		// sweep survives a kill -9 one microsecond later.
+		// sweep survives a kill -9 one microsecond later. This IO stays
+		// inside the admission critical section on purpose — releasing
+		// s.mu before the journal lands would let a concurrent same-id
+		// submitter be acknowledged off an unjournaled sweep.
 		dir := s.sweepDir(id)
+		//lint:ignore lockflow journal-before-ack: the request must be durable before any concurrent submitter can observe admission (DESIGN.md §9)
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return Sweep{}, fmt.Errorf("service: sweep dir: %w", err)
 		}
 		reqJSON, _ := json.Marshal(req)
+		//lint:ignore lockflow journal-before-ack: request.json is the admission record; writing it outside s.mu would un-serialize idempotent resubmission (DESIGN.md §9)
 		if err := store.WriteFileAtomic(filepath.Join(dir, "request.json"), reqJSON); err != nil {
 			return Sweep{}, fmt.Errorf("service: journaling request: %w", err)
 		}
@@ -427,7 +446,11 @@ func (s *Service) rescan() error {
 			sw.state = StateDone
 			// Seal the recovered event log: subscribers replay the
 			// journal from disk and disconnect at the terminal state.
-			sw.events.finish()
+			// Nothing was opened in this process, so a finish error here
+			// would mean a write raced recovery — worth a log line.
+			if err := sw.events.finish(); err != nil {
+				s.log.Warn("sealing recovered event journal", "sweep_id", id, "err", err)
+			}
 			s.log.Info("sweep recovered as done", "sweep_id", id)
 			continue
 		}
@@ -494,6 +517,16 @@ func (s *Service) Drain() {
 	s.mu.Unlock()
 }
 
+// sealEvents finishes a sweep's event journal and logs any IO failure the
+// attempt accumulated. The sweep's outcome is already decided by the report
+// — a lossy journal only degrades observability — but it must leave a
+// trace, or the event-replay gate breaks silently.
+func sealEvents(sw *sweep, log *slog.Logger) {
+	if err := sw.events.finish(); err != nil {
+		log.Warn("event journal flush failed", "err", err)
+	}
+}
+
 // runSweep executes one sweep with deadline budget and deterministic
 // retry/backoff. Each attempt rewrites the sweep's event journal from
 // scratch (completed sims replay from the checkpoint, re-emitting the
@@ -531,25 +564,25 @@ func (s *Service) runSweep(ctx context.Context, sw *sweep) {
 			s.interrupted.Add(1)
 			s.setState(sw, StateInterrupted, "interrupted by drain; resume to finish")
 			log.Warn("sweep interrupted by drain", "attempt", att, "rows_delivered", rows)
-			sw.events.finish()
+			sealEvents(sw, log)
 			return
 		case rep.OK():
 			if err := store.WriteFileAtomic(filepath.Join(s.sweepDir(sw.id), "report.csv"), []byte(csv)); err != nil {
 				s.setState(sw, StateFailed, fmt.Sprintf("writing report: %v", err))
 				log.Error("writing report failed", "err", err)
-				sw.events.finish()
+				sealEvents(sw, log)
 				return
 			}
 			sw.events.sweepDone(sw.id, rows)
 			s.setState(sw, StateDone, "")
 			log.Info("sweep done", "attempt", att, "rows", rows)
-			sw.events.finish()
+			sealEvents(sw, log)
 			return
 		case attempt >= s.cfg.MaxRetries || !retryable(rep):
 			summary := failureSummary(rep)
 			s.setState(sw, StateFailed, summary)
 			log.Error("sweep failed", "attempt", att, "retryable", retryable(rep), "failures", summary)
-			sw.events.finish()
+			sealEvents(sw, log)
 			return
 		}
 		// Transient failure: back off on the pinned deterministic schedule
@@ -709,17 +742,20 @@ func (s *Service) setState(sw *sweep, state, msg string) {
 	s.mu.Unlock()
 }
 
-// snapshotLocked renders a status snapshot; the caller holds s.mu.
+// snapshotLocked renders a status snapshot from in-memory state; the
+// caller holds s.mu. Completed is deliberately NOT filled here: it comes
+// from a checkpoint-directory scan, and disk IO under s.mu would stall
+// every submitter and prober behind a ReadDir. Callers hydrate it via
+// completed() after releasing the lock.
 func (s *Service) snapshotLocked(sw *sweep) Sweep {
 	return Sweep{
-		ID:        sw.id,
-		Client:    sw.req.Client,
-		State:     sw.state,
-		Req:       sw.req,
-		Jobs:      sw.jobs,
-		Completed: s.completed(sw.id),
-		Attempts:  sw.attempts,
-		Error:     sw.err,
+		ID:       sw.id,
+		Client:   sw.req.Client,
+		State:    sw.state,
+		Req:      sw.req,
+		Jobs:     sw.jobs,
+		Attempts: sw.attempts,
+		Error:    sw.err,
 	}
 }
 
@@ -743,18 +779,23 @@ func (s *Service) completed(id string) int {
 // Get returns a sweep's status snapshot.
 func (s *Service) Get(id string) (Sweep, bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	sw, ok := s.sweeps[id]
+	var snap Sweep
+	if ok {
+		snap = s.snapshotLocked(sw)
+	}
+	s.mu.Unlock()
 	if !ok {
 		return Sweep{}, false
 	}
-	return s.snapshotLocked(sw), true
+	snap.Completed = s.completed(snap.ID)
+	return snap, true
 }
 
-// List returns all known sweeps sorted by id.
+// List returns all known sweeps sorted by id. The in-memory snapshot is
+// taken under s.mu; the per-sweep checkpoint scans run after release.
 func (s *Service) List() []Sweep {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	ids := make([]string, 0, len(s.sweeps))
 	for id := range s.sweeps {
 		ids = append(ids, id)
@@ -763,6 +804,10 @@ func (s *Service) List() []Sweep {
 	out := make([]Sweep, 0, len(ids))
 	for _, id := range ids {
 		out = append(out, s.snapshotLocked(s.sweeps[id]))
+	}
+	s.mu.Unlock()
+	for i := range out {
+		out[i].Completed = s.completed(out[i].ID)
 	}
 	return out
 }

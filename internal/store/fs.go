@@ -161,12 +161,10 @@ func writeFileSync(path string, data []byte) error {
 		return err
 	}
 	if _, err := fh.Write(data); err != nil {
-		fh.Close()
-		return err
+		return errors.Join(err, fh.Close())
 	}
 	if err := fh.Sync(); err != nil {
-		fh.Close()
-		return err
+		return errors.Join(err, fh.Close())
 	}
 	return fh.Close()
 }
